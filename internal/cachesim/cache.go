@@ -1,0 +1,166 @@
+// Package cachesim reproduces the paper's µs-scale cache study (§5.5):
+// a set-associative LRU cache hierarchy, the pointer-chasing workload
+// that emulates two-level vs centralized scheduling (Figures 13 and
+// 14), the reuse-distance analysis of Table 2, and an exact
+// reuse-distance tracker for real address traces (Figure 15).
+package cachesim
+
+// Cache is one set-associative level with LRU replacement.
+type Cache struct {
+	lineShift uint
+	setMask   uint64
+	ways      int
+	// tags[set*ways+way] holds the line tag; order[set*ways+way] holds
+	// recency (higher = more recent).
+	tags  []uint64
+	valid []bool
+	order []uint64
+	tick  uint64
+
+	hits, misses uint64
+}
+
+// NewCache builds a cache of sizeBytes with the given associativity and
+// 64-byte lines. sizeBytes must be a multiple of ways*64 with a
+// power-of-two set count.
+func NewCache(sizeBytes, ways int) *Cache {
+	const line = 64
+	sets := sizeBytes / (line * ways)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cachesim: set count must be a positive power of two")
+	}
+	return &Cache{
+		lineShift: 6,
+		setMask:   uint64(sets - 1),
+		ways:      ways,
+		tags:      make([]uint64, sets*ways),
+		valid:     make([]bool, sets*ways),
+		order:     make([]uint64, sets*ways),
+	}
+}
+
+// Access looks up the line containing addr, updating LRU state, and
+// reports whether it hit. On miss the line is installed, evicting the
+// least recently used way.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+	c.tick++
+	victim := base
+	var victimOrder uint64 = ^uint64(0)
+	for w := base; w < base+c.ways; w++ {
+		if c.valid[w] && c.tags[w] == line {
+			c.order[w] = c.tick
+			c.hits++
+			return true
+		}
+		if !c.valid[w] {
+			victim = w
+			victimOrder = 0
+		} else if c.order[w] < victimOrder {
+			victim = w
+			victimOrder = c.order[w]
+		}
+	}
+	c.misses++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.order[victim] = c.tick
+	return false
+}
+
+// Stats returns accumulated hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats clears counters without touching contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Hierarchy models the private L1/L2 of a Xeon 8176 core, the shared
+// L3, and memory, with per-level access latencies in nanoseconds.
+type Hierarchy struct {
+	L1, L2, L3 *Cache
+	// Latencies in ns for a hit at each level and for memory.
+	LatL1, LatL2, LatL3, LatMem float64
+
+	accesses uint64
+	totalNs  float64
+	hitsL1   uint64
+	hitsL2   uint64
+	hitsL3   uint64
+	misses   uint64
+}
+
+// NewXeonHierarchy returns the testbed's cache shape: 32KB/8-way L1,
+// 1MB/16-way private L2, 38.5MB(≈38MB simulated)/11-way shared L3.
+func NewXeonHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1: NewCache(32<<10, 8),
+		// 38.5MB isn't a power-of-two set count at 11 ways; model the
+		// share of L3 one core competes for with 32MB/16-way.
+		L2:     NewCache(1<<20, 16),
+		L3:     NewCache(32<<20, 16),
+		LatL1:  1.9,
+		LatL2:  6.7,
+		LatL3:  19,
+		LatMem: 95,
+	}
+}
+
+// Access walks the hierarchy (inclusive fill) and returns the access
+// latency in ns.
+func (h *Hierarchy) Access(addr uint64) float64 {
+	h.accesses++
+	var lat float64
+	switch {
+	case h.L1.Access(addr):
+		lat = h.LatL1
+		h.hitsL1++
+	case h.L2.Access(addr):
+		lat = h.LatL2
+		h.hitsL2++
+	case h.L3.Access(addr):
+		lat = h.LatL3
+		h.hitsL3++
+	default:
+		lat = h.LatMem
+		h.misses++
+	}
+	h.totalNs += lat
+	return lat
+}
+
+// HierarchyStats summarizes accesses since the last reset.
+type HierarchyStats struct {
+	Accesses               uint64
+	HitsL1, HitsL2, HitsL3 uint64
+	MemAccesses            uint64
+	AvgLatencyNs           float64
+	L1HitRate, L2HitRate   float64
+}
+
+// Stats returns the aggregate view.
+func (h *Hierarchy) Stats() HierarchyStats {
+	s := HierarchyStats{
+		Accesses:    h.accesses,
+		HitsL1:      h.hitsL1,
+		HitsL2:      h.hitsL2,
+		HitsL3:      h.hitsL3,
+		MemAccesses: h.misses,
+	}
+	if h.accesses > 0 {
+		s.AvgLatencyNs = h.totalNs / float64(h.accesses)
+		s.L1HitRate = float64(h.hitsL1) / float64(h.accesses)
+		s.L2HitRate = float64(h.hitsL1+h.hitsL2) / float64(h.accesses)
+	}
+	return s
+}
+
+// ResetStats clears counters (cache contents stay warm).
+func (h *Hierarchy) ResetStats() {
+	h.accesses, h.totalNs = 0, 0
+	h.hitsL1, h.hitsL2, h.hitsL3, h.misses = 0, 0, 0, 0
+	h.L1.ResetStats()
+	h.L2.ResetStats()
+	h.L3.ResetStats()
+}

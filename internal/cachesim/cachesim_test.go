@@ -1,0 +1,293 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestCacheHitsAfterInstall(t *testing.T) {
+	c := NewCache(1<<10, 2) // 8 sets x 2 ways
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next line hit cold")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(1<<10, 2) // 8 sets, 2 ways; lines mapping to set 0: 0, 8*64=512, 1024...
+	c.Access(0)
+	c.Access(512)
+	c.Access(0)    // 0 is now MRU, 512 LRU
+	c.Access(1024) // evicts 512
+	if !c.Access(0) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.Access(512) {
+		t.Fatal("LRU line survived eviction")
+	}
+}
+
+func TestCacheCapacityWorkingSet(t *testing.T) {
+	// A working set that fits must converge to 100% hits; one that
+	// exceeds capacity with LRU + cyclic access pattern keeps missing.
+	c := NewCache(8<<10, 8) // 8KB
+	fits := 100             // 100 lines = 6.4KB < 8KB
+	for pass := 0; pass < 3; pass++ {
+		c.ResetStats()
+		for i := 0; i < fits; i++ {
+			c.Access(uint64(i) * 64)
+		}
+	}
+	if hits, misses := c.Stats(); misses != 0 || hits != uint64(fits) {
+		t.Fatalf("fitting set: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two set count did not panic")
+		}
+	}()
+	NewCache(3<<10, 2)
+}
+
+func TestHierarchyLatencyOrdering(t *testing.T) {
+	h := NewXeonHierarchy()
+	first := h.Access(0) // cold: memory
+	if first != h.LatMem {
+		t.Fatalf("cold access latency %v, want %v", first, h.LatMem)
+	}
+	second := h.Access(0) // now in L1
+	if second != h.LatL1 {
+		t.Fatalf("warm access latency %v, want %v", second, h.LatL1)
+	}
+}
+
+func TestHierarchyStatsAggregate(t *testing.T) {
+	h := NewXeonHierarchy()
+	for i := 0; i < 100; i++ {
+		h.Access(uint64(i) * 64)
+	}
+	for i := 0; i < 100; i++ {
+		h.Access(uint64(i) * 64)
+	}
+	st := h.Stats()
+	if st.Accesses != 200 {
+		t.Fatalf("Accesses = %d", st.Accesses)
+	}
+	if st.HitsL1 != 100 || st.MemAccesses != 100 {
+		t.Fatalf("hits=%d mem=%d, want 100/100", st.HitsL1, st.MemAccesses)
+	}
+	wantAvg := (h.LatL1 + h.LatMem) / 2
+	if diff := st.AvgLatencyNs - wantAvg; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("avg latency %v, want %v", st.AvgLatencyNs, wantAvg)
+	}
+}
+
+func TestReuseTrackerBasic(t *testing.T) {
+	r := NewReuseTracker()
+	// A, B, C, A: A's reuse distance is 2 (B and C intervened).
+	if d := r.Access(0); d != -1 {
+		t.Fatalf("first access dist %d, want -1", d)
+	}
+	r.Access(64)
+	r.Access(128)
+	if d := r.Access(0); d != 2 {
+		t.Fatalf("reuse distance %d, want 2", d)
+	}
+	// Immediate re-access: distance 0.
+	if d := r.Access(0); d != 0 {
+		t.Fatalf("immediate reuse distance %d, want 0", d)
+	}
+}
+
+func TestReuseTrackerCountsDistinctLines(t *testing.T) {
+	r := NewReuseTracker()
+	r.Access(0)
+	// Touch line 1 five times: only one distinct line intervenes.
+	for i := 0; i < 5; i++ {
+		r.Access(64)
+	}
+	if d := r.Access(0); d != 1 {
+		t.Fatalf("distance %d, want 1 (distinct lines, not accesses)", d)
+	}
+	if r.Lines() != 2 {
+		t.Fatalf("Lines = %d, want 2", r.Lines())
+	}
+}
+
+func TestReuseTrackerCyclicArray(t *testing.T) {
+	// Iterating over N lines repeatedly: from the second pass, every
+	// access has reuse distance N-1.
+	r := NewReuseTracker()
+	const n = 100
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < n; i++ {
+			d := r.Access(uint64(i) * 64)
+			if pass == 0 {
+				if d != -1 {
+					t.Fatalf("first pass dist %d", d)
+				}
+			} else if d != n-1 {
+				t.Fatalf("pass %d line %d: dist %d, want %d", pass, i, d, n-1)
+			}
+		}
+	}
+}
+
+func TestReuseTrackerMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		fast := NewReuseTracker()
+		var trace []uint64
+		for i := 0; i < 400; i++ {
+			addr := uint64(r.Intn(40)) * 64
+			trace = append(trace, addr)
+			got := fast.Access(addr)
+			want := naiveReuse(trace)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveReuse computes the reuse distance of the last access by direct
+// scan.
+func naiveReuse(trace []uint64) int {
+	last := trace[len(trace)-1] >> 6
+	seen := map[uint64]bool{}
+	for i := len(trace) - 2; i >= 0; i-- {
+		l := trace[i] >> 6
+		if l == last {
+			return len(seen)
+		}
+		seen[l] = true
+	}
+	return -1
+}
+
+func TestAnalyticReuseTable2(t *testing.T) {
+	const C, J, A = 16, 4, 32 << 10
+	if got := AnalyticReuse(CT, true, C, J, A); got != C*J*A {
+		t.Fatalf("CT first = %d, want %d", got, C*J*A)
+	}
+	if got := AnalyticReuse(TLS, true, C, J, A); got != J*A {
+		t.Fatalf("TLS first = %d, want %d", got, J*A)
+	}
+	if got := AnalyticReuse(CT, false, C, J, A); got != A {
+		t.Fatalf("CT non-first = %d, want %d", got, A)
+	}
+	if got := AnalyticReuse(TLS, false, C, J, A); got != A {
+		t.Fatalf("TLS non-first = %d, want %d", got, A)
+	}
+}
+
+// Scaled-down chase config for fast tests.
+func testChase(f Framework, quantumNs float64, arrayBytes int) ChaseConfig {
+	cfg := DefaultChaseConfig(f, quantumNs, arrayBytes)
+	cfg.WarmupAccesses = 60_000
+	cfg.MeasuredAccesses = 150_000
+	return cfg
+}
+
+func TestChaseTinyArrayAllL1(t *testing.T) {
+	// 1KB arrays x 4 jobs = 4KB working set: everything fits in L1, so
+	// the average latency must be at (or a hair above) the L1 latency
+	// for every quantum.
+	res := RunChase(testChase(TLS, 2000, 1<<10))
+	if res.AvgLatencyNs > 2.1 {
+		t.Fatalf("1KB TLS avg latency %v, want ≈1.9 (L1)", res.AvgLatencyNs)
+	}
+}
+
+func TestChaseSmallQuantaHurtMidSizeArrays(t *testing.T) {
+	// Figure 13's finding: for 8-32KB arrays, 2µs quanta cause more L1
+	// misses than 16µs quanta; for 1KB arrays they do not.
+	small := RunChase(testChase(TLS, 2000, 16<<10))
+	large := RunChase(testChase(TLS, 16000, 16<<10))
+	if small.AvgLatencyNs <= large.AvgLatencyNs*1.05 {
+		t.Fatalf("16KB arrays: 2µs latency %v not clearly above 16µs latency %v",
+			small.AvgLatencyNs, large.AvgLatencyNs)
+	}
+	tiny2 := RunChase(testChase(TLS, 2000, 1<<10))
+	tiny16 := RunChase(testChase(TLS, 16000, 1<<10))
+	if diff := tiny2.AvgLatencyNs - tiny16.AvgLatencyNs; diff > 0.5 {
+		t.Fatalf("1KB arrays: quantum size changed latency by %vns", diff)
+	}
+}
+
+func TestChaseTinyQuantaNoWorseThanSmallQuanta(t *testing.T) {
+	// Figure 13's second finding: once quanta are small enough, going
+	// smaller changes little (0.5µs ≈ 2µs).
+	a := RunChase(testChase(TLS, 500, 8<<10))
+	b := RunChase(testChase(TLS, 2000, 8<<10))
+	ratio := a.AvgLatencyNs / b.AvgLatencyNs
+	if ratio > 1.35 || ratio < 0.65 {
+		t.Fatalf("0.5µs vs 2µs latency ratio %v, want near 1", ratio)
+	}
+}
+
+func TestChaseCTWorseThanTLS(t *testing.T) {
+	// Figure 14: at 2µs quanta, CT's 64-array rotation amplifies reuse
+	// distances 64x vs TLS's 4x, causing more misses for mid-size
+	// arrays.
+	arr := 64 << 10
+	tls := RunChase(testChase(TLS, 2000, arr))
+	ct := RunChase(testChase(CT, 2000, arr))
+	if ct.AvgLatencyNs <= tls.AvgLatencyNs {
+		t.Fatalf("CT latency %v not above TLS %v at 64KB", ct.AvgLatencyNs, tls.AvgLatencyNs)
+	}
+}
+
+func TestChaseDeterministic(t *testing.T) {
+	a := RunChase(testChase(TLS, 2000, 8<<10))
+	b := RunChase(testChase(TLS, 2000, 8<<10))
+	if a.AvgLatencyNs != b.AvgLatencyNs {
+		t.Fatalf("same seed diverged: %v vs %v", a.AvgLatencyNs, b.AvgLatencyNs)
+	}
+}
+
+func TestArraySizes(t *testing.T) {
+	sizes := ArraySizes()
+	if len(sizes) != 11 || sizes[0] != 1<<10 || sizes[10] != 1<<20 {
+		t.Fatalf("ArraySizes = %v", sizes)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := NewXeonHierarchy()
+	r := rng.New(1)
+	addrs := make([]uint64, 8192)
+	for i := range addrs {
+		addrs[i] = uint64(r.Intn(1<<16)) * 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i&8191])
+	}
+}
+
+func BenchmarkReuseTracker(b *testing.B) {
+	r := NewReuseTracker()
+	gen := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Access(uint64(gen.Intn(1<<14)) * 64)
+	}
+}

@@ -1,0 +1,161 @@
+package cachesim
+
+import "repro/internal/rng"
+
+// The §5.5.1 pointer-chasing workload: per job, an array of
+// configurable size is visited in a fixed random cyclic order (random
+// pointer chasing defeats prefetching and exposes every miss). A core
+// runs one job for X accesses (one quantum's worth), saves its
+// progress, and switches to the next array. TLS cores cycle among their
+// own JobsPerCore arrays; CT cores see every array in the machine on a
+// rotating basis.
+
+// ChaseConfig parameterizes one experiment point.
+type ChaseConfig struct {
+	Framework   Framework
+	QuantumNs   float64
+	ArrayBytes  int
+	JobsPerCore int // paper: 4
+	Cores       int // paper: 16; under CT the core sees Cores*JobsPerCore arrays
+	// WarmupAccesses and MeasuredAccesses control run length.
+	WarmupAccesses   int
+	MeasuredAccesses int
+	Seed             uint64
+}
+
+// DefaultChaseConfig mirrors the paper's setup for the given framework,
+// quantum and array size.
+func DefaultChaseConfig(f Framework, quantumNs float64, arrayBytes int) ChaseConfig {
+	return ChaseConfig{
+		Framework:        f,
+		QuantumNs:        quantumNs,
+		ArrayBytes:       arrayBytes,
+		JobsPerCore:      4,
+		Cores:            16,
+		WarmupAccesses:   400_000,
+		MeasuredAccesses: 1_200_000,
+		Seed:             1,
+	}
+}
+
+// ChaseResult is the measured outcome for one configuration.
+type ChaseResult struct {
+	Config ChaseConfig
+	// AvgLatencyNs is the paper's y-axis: average pointer-access
+	// latency.
+	AvgLatencyNs float64
+	// Level hit rates for interpretation.
+	L1HitRate, L2HitRate float64
+}
+
+// chaseArray is one job's array: a random cyclic permutation over
+// cache-line-spaced elements, plus the saved progress position.
+type chaseArray struct {
+	base uint64
+	next []uint32 // permutation: element -> successor element
+	pos  uint32
+}
+
+func newChaseArray(base uint64, lines int, r *rng.Rand) *chaseArray {
+	// Build a random cyclic permutation with Sattolo's algorithm, so a
+	// single cycle covers every element (a fixed random iteration
+	// order, as in §5.5.1).
+	perm := make([]int, lines)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := lines - 1; i > 0; i-- {
+		j := r.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	next := make([]uint32, lines)
+	for i := 0; i < lines-1; i++ {
+		next[perm[i]] = uint32(perm[i+1])
+	}
+	next[perm[lines-1]] = uint32(perm[0])
+	return &chaseArray{base: base, next: next}
+}
+
+func (a *chaseArray) access(h *Hierarchy) float64 {
+	lat := h.Access(a.base + uint64(a.pos)*64)
+	a.pos = a.next[a.pos]
+	return lat
+}
+
+// RunChase simulates one core's private cache hierarchy under the
+// configured scheduling emulation and returns the average access
+// latency.
+func RunChase(cfg ChaseConfig) ChaseResult {
+	if cfg.ArrayBytes < 64 {
+		panic("cachesim: array must hold at least one line")
+	}
+	if cfg.JobsPerCore < 1 || cfg.Cores < 1 || cfg.QuantumNs <= 0 {
+		panic("cachesim: invalid chase configuration")
+	}
+	r := rng.New(cfg.Seed)
+	lines := cfg.ArrayBytes / 64
+
+	nArrays := cfg.JobsPerCore
+	if cfg.Framework == CT {
+		nArrays = cfg.JobsPerCore * cfg.Cores
+	}
+	arrays := make([]*chaseArray, nArrays)
+	// Arrays are laid out contiguously with a 65-line guard gap, the
+	// way a real allocator packs them. A power-of-two stride would
+	// alias every array onto the same cache sets and manufacture
+	// conflict misses that no real heap layout produces.
+	stride := uint64(cfg.ArrayBytes) + 65*64
+	for i := range arrays {
+		arrays[i] = newChaseArray(uint64(i)*stride, lines, r)
+	}
+
+	h := NewXeonHierarchy()
+	// X, the accesses per quantum, tracks the running average latency
+	// so a quantum of virtual time maps to the right amount of work —
+	// the paper sets X to match the target quantum size.
+	avg := h.LatL2 // neutral starting estimate
+	cur := 0
+	done := 0
+	total := cfg.WarmupAccesses + cfg.MeasuredAccesses
+	warmed := false
+	for done < total {
+		x := int(cfg.QuantumNs / avg)
+		if x < 1 {
+			x = 1
+		}
+		a := arrays[cur]
+		var qTotal float64
+		for i := 0; i < x && done < total; i++ {
+			qTotal += a.access(h)
+			done++
+			if !warmed && done >= cfg.WarmupAccesses {
+				warmed = true
+				h.ResetStats()
+			}
+		}
+		if x > 0 {
+			// EWMA of per-access latency steers the quantum size.
+			avg = 0.9*avg + 0.1*(qTotal/float64(x))
+			if avg < h.LatL1 {
+				avg = h.LatL1
+			}
+		}
+		cur = (cur + 1) % nArrays
+	}
+	st := h.Stats()
+	return ChaseResult{
+		Config:       cfg,
+		AvgLatencyNs: st.AvgLatencyNs,
+		L1HitRate:    st.L1HitRate,
+		L2HitRate:    st.L2HitRate,
+	}
+}
+
+// ArraySizes returns the paper's sweep: 1KB to 1MB in powers of two.
+func ArraySizes() []int {
+	var out []int
+	for s := 1 << 10; s <= 1<<20; s <<= 1 {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package cachesim
+
+// ReuseTracker computes exact reuse distances over an address stream at
+// cache-line granularity: the reuse distance of an access is the number
+// of distinct lines touched since the previous access to the same line
+// (§5.5.2). Cold (first-ever) accesses report distance -1.
+//
+// It uses the classic Bennett-Kruskal algorithm: a Fenwick tree over
+// access timestamps counts, for each access, how many lines were last
+// touched inside the window since this line's previous access —
+// O(log n) per access.
+type ReuseTracker struct {
+	last map[uint64]int // line -> timestamp of last access
+	vals []int8         // marker per timestamp (1 = most recent access of some line)
+	bit  []int          // Fenwick tree over vals, 1-based
+	t    int
+}
+
+// NewReuseTracker returns an empty tracker.
+func NewReuseTracker() *ReuseTracker {
+	return &ReuseTracker{last: map[uint64]int{}, vals: make([]int8, 16), bit: make([]int, 16)}
+}
+
+// Access records a touch of addr and returns its reuse distance in
+// distinct cache lines, or -1 for the first access to the line.
+func (r *ReuseTracker) Access(addr uint64) int {
+	line := addr >> 6
+	r.t++
+	r.ensure(r.t)
+	dist := -1
+	if t0, ok := r.last[line]; ok {
+		// Distinct lines last-touched in (t0, t): each line has exactly
+		// one marker, at its most recent access time.
+		dist = r.rangeSum(t0+1, r.t-1)
+		r.add(t0, -1)
+	}
+	r.add(r.t, 1)
+	r.last[line] = r.t
+	return dist
+}
+
+// Lines reports the number of distinct lines seen.
+func (r *ReuseTracker) Lines() int { return len(r.last) }
+
+// ensure grows the tree to cover timestamp n, rebuilding from the raw
+// marker array (a Fenwick tree cannot be extended in place because the
+// new high-index nodes summarize old ranges).
+func (r *ReuseTracker) ensure(n int) {
+	if n < len(r.bit) {
+		return
+	}
+	size := len(r.bit)
+	for size <= n {
+		size *= 2
+	}
+	nv := make([]int8, size)
+	copy(nv, r.vals)
+	r.vals = nv
+	r.bit = make([]int, size)
+	for i := 1; i < size; i++ {
+		r.bit[i] += int(r.vals[i])
+		if p := i + (i & -i); p < size {
+			r.bit[p] += r.bit[i]
+		}
+	}
+}
+
+func (r *ReuseTracker) add(i, delta int) {
+	r.vals[i] += int8(delta)
+	for ; i < len(r.bit); i += i & (-i) {
+		r.bit[i] += delta
+	}
+}
+
+func (r *ReuseTracker) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += r.bit[i]
+	}
+	return s
+}
+
+func (r *ReuseTracker) rangeSum(a, b int) int {
+	if a > b {
+		return 0
+	}
+	return r.prefix(b) - r.prefix(a-1)
+}
+
+// Framework identifies the scheduling emulation mode of §5.5.1.
+type Framework int
+
+// Scheduling frameworks under study.
+const (
+	// TLS is two-level scheduling: each core cycles among its own J
+	// arrays.
+	TLS Framework = iota
+	// CT is centralized scheduling: all C*J arrays rotate across all
+	// cores, so each core's cache sees every array.
+	CT
+)
+
+func (f Framework) String() string {
+	if f == TLS {
+		return "TLS"
+	}
+	return "CT"
+}
+
+// AnalyticReuse reproduces Table 2: the reuse distance (in bytes of
+// distinct data) of an access during array iteration under preemptive
+// sharing. first says whether this is the element's first access within
+// the current quantum; C is the number of worker cores, J jobs per
+// core, A the array size in bytes.
+func AnalyticReuse(f Framework, first bool, C, J int, A int) int {
+	if !first {
+		// Re-access within the same quantum: only this array's data
+		// intervenes.
+		return A
+	}
+	switch f {
+	case TLS:
+		// The previous access was a quantum (J switches) ago: all J of
+		// the core's arrays intervened.
+		return J * A
+	default:
+		// Centralized: every concurrent job's array may have run on
+		// this core since.
+		return C * J * A
+	}
+}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// CaladanMode selects how packets reach worker cores.
+type CaladanMode int
+
+// Caladan's two operating modes (§5.1).
+const (
+	// IOKernel routes every packet through a central IOKernel core —
+	// cheap for workers but a potential throughput bottleneck.
+	IOKernel CaladanMode = iota
+	// Directpath lets workers talk to the NIC directly — no central
+	// bottleneck, but per-packet processing lands on the workers.
+	Directpath
+)
+
+func (m CaladanMode) String() string {
+	if m == IOKernel {
+		return "iokernel"
+	}
+	return "directpath"
+}
+
+// CaladanParams configures the Caladan baseline model: FCFS
+// run-to-completion with RSS packet steering and work stealing.
+type CaladanParams struct {
+	// Workers is the number of worker cores (paper: 16).
+	Workers int
+	// Mode selects IOKernel or Directpath packet routing. The paper
+	// evaluates both and reports the better one per workload; the
+	// sweep driver in this package does the same.
+	Mode CaladanMode
+	// IOKCost is IOKernel time per packet direction.
+	IOKCost sim.Time
+	// DirectCost is extra worker time per request in directpath mode
+	// (RX descriptor handling, parsing, TX).
+	DirectCost sim.Time
+	// StealCost is the latency for an idle worker to steal a queued
+	// job from another core.
+	StealCost sim.Time
+	// RXQueue bounds the IOKernel's unprocessed-packet backlog, in
+	// packets; arrivals beyond it drop as at a full NIC RX ring.
+	RXQueue int
+	// RTT is the simulated network round trip for end-to-end latency.
+	RTT sim.Time
+}
+
+// NewCaladanParams returns calibrated defaults in the given mode.
+func NewCaladanParams(mode CaladanMode) CaladanParams {
+	return CaladanParams{
+		Workers:    16,
+		Mode:       mode,
+		IOKCost:    70 * sim.Nanosecond,
+		DirectCost: 260 * sim.Nanosecond,
+		StealCost:  150 * sim.Nanosecond,
+		RTT:        sim.Micros(8),
+		RXQueue:    2048,
+	}
+}
+
+// Caladan is the FCFS run-to-completion baseline with work stealing.
+type Caladan struct{ P CaladanParams }
+
+// NewCaladan returns a Caladan machine.
+func NewCaladan(p CaladanParams) *Caladan {
+	if p.Workers <= 0 {
+		panic("cluster: invalid Caladan parameters")
+	}
+	return &Caladan{P: p}
+}
+
+// Name implements Machine.
+func (c *Caladan) Name() string { return "Caladan-" + c.P.Mode.String() }
+
+type calWorker struct {
+	queue core.FIFO[*job]
+	busy  bool
+}
+
+type calRun struct {
+	m       *Caladan
+	eng     *sim.Engine
+	cfg     RunConfig
+	met     *metrics
+	pool    jobPool
+	workers []calWorker
+	idle    []int // idle worker indices (spinning, ready to steal)
+	rss     core.RSS
+	rand    *rng.Rand
+	gen     *workload.Generator
+
+	iokBusyUntil sim.Time
+}
+
+// Run implements Machine.
+func (c *Caladan) Run(cfg RunConfig) *Result {
+	cfg.validate()
+	r := &calRun{
+		m:       c,
+		eng:     sim.New(),
+		cfg:     cfg,
+		met:     newMetrics(cfg),
+		workers: make([]calWorker, c.P.Workers),
+		rand:    rng.New(cfg.Seed ^ 0xca1ada),
+		gen:     workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
+	}
+	for w := range r.workers {
+		r.idle = append(r.idle, w)
+	}
+	r.scheduleNextArrival()
+	r.eng.Run()
+	return r.met.result(c.Name(), c.P.RTT)
+}
+
+func (r *calRun) scheduleNextArrival() {
+	req := r.gen.Next()
+	if req.Arrival > r.cfg.Duration {
+		return
+	}
+	r.eng.At(req.Arrival, func() {
+		r.scheduleNextArrival()
+		j := r.pool.get()
+		j.id = req.ID
+		j.class = req.Class
+		j.arrival = req.Arrival
+		j.base = req.Service
+		j.service = req.Service
+		if r.m.P.Mode == Directpath {
+			// Packet processing happens on the worker.
+			j.service += r.m.P.DirectCost
+		}
+		j.remain = j.service
+		w := r.rss.Steer(req.ID, len(r.workers))
+		if r.m.P.Mode == IOKernel {
+			// The IOKernel is a serial server between NIC and workers;
+			// a saturated one drops packets at the RX ring.
+			now := r.eng.Now()
+			if r.m.P.RXQueue > 0 &&
+				r.iokBusyUntil-now > sim.Time(r.m.P.RXQueue)*r.m.P.IOKCost {
+				r.pool.put(j)
+				return
+			}
+			if r.iokBusyUntil < now {
+				r.iokBusyUntil = now
+			}
+			r.iokBusyUntil += r.m.P.IOKCost
+			r.eng.At(r.iokBusyUntil, func() { r.deliver(w, j) })
+		} else {
+			r.deliver(w, j)
+		}
+	})
+}
+
+// deliver places a job on its RSS-steered worker's queue. If that
+// worker is busy but another is idle and spinning, the idle worker
+// steals the job after the steal latency — Caladan's work stealing
+// keeps cores busy whenever any work exists.
+func (r *calRun) deliver(w int, j *job) {
+	wk := &r.workers[w]
+	if !wk.busy {
+		wk.busy = true
+		r.removeIdle(w)
+		r.runJob(w, j)
+		return
+	}
+	if len(r.idle) > 0 {
+		// A spinning idle worker steals it.
+		i := r.rand.Intn(len(r.idle))
+		thief := r.idle[i]
+		r.idle[i] = r.idle[len(r.idle)-1]
+		r.idle = r.idle[:len(r.idle)-1]
+		twk := &r.workers[thief]
+		twk.busy = true
+		r.eng.After(r.m.P.StealCost, func() { r.runJob(thief, j) })
+		return
+	}
+	wk.queue.Push(j)
+}
+
+func (r *calRun) removeIdle(w int) {
+	for i, v := range r.idle {
+		if v == w {
+			r.idle[i] = r.idle[len(r.idle)-1]
+			r.idle = r.idle[:len(r.idle)-1]
+			return
+		}
+	}
+}
+
+// runJob executes j to completion on worker w (FCFS, no preemption).
+func (r *calRun) runJob(w int, j *job) {
+	r.eng.After(j.remain, func() {
+		r.met.record(j, r.eng.Now())
+		r.pool.put(j)
+		if r.m.P.Mode == IOKernel {
+			// Response transits the IOKernel; it does not block the
+			// worker, but consumes IOKernel capacity.
+			now := r.eng.Now()
+			if r.iokBusyUntil < now {
+				r.iokBusyUntil = now
+			}
+			r.iokBusyUntil += r.m.P.IOKCost
+		}
+		r.next(w)
+	})
+}
+
+// next finds the worker's next job: its own queue first, then stealing
+// from the most loaded victim, else it goes idle and spins.
+func (r *calRun) next(w int) {
+	wk := &r.workers[w]
+	if j, ok := wk.queue.Pop(); ok {
+		r.runJob(w, j)
+		return
+	}
+	// Steal: scan for a victim with queued work (cost modelled in the
+	// steal latency).
+	victim := -1
+	best := 0
+	for v := range r.workers {
+		if v != w && r.workers[v].queue.Len() > best {
+			best = r.workers[v].queue.Len()
+			victim = v
+		}
+	}
+	if victim >= 0 {
+		j, _ := r.workers[victim].queue.Pop()
+		r.eng.After(r.m.P.StealCost, func() { r.runJob(w, j) })
+		return
+	}
+	wk.busy = false
+	r.idle = append(r.idle, w)
+}
+
+var _ Machine = (*Caladan)(nil)
+
+// BestCaladan runs the configuration under both modes and returns the
+// better result, judged by the p99.9 sojourn of the given class (or
+// overall throughput if class is empty) — mirroring §5.1's "we evaluate
+// Caladan under both modes and report the better one".
+func BestCaladan(cfg RunConfig, class string) *Result {
+	iok := NewCaladan(NewCaladanParams(IOKernel)).Run(cfg)
+	dp := NewCaladan(NewCaladanParams(Directpath)).Run(cfg)
+	if class == "" {
+		if iok.Throughput >= dp.Throughput {
+			return iok
+		}
+		return dp
+	}
+	ic, dc := iok.Class(class), dp.Class(class)
+	switch {
+	case ic == nil || ic.Count == 0:
+		return dp
+	case dc == nil || dc.Count == 0:
+		return iok
+	case ic.Sojourn.P999() <= dc.Sojourn.P999():
+		return iok
+	default:
+		return dp
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// CentralizedPS is the idealized centralized processor-sharing system
+// of the §2 motivation simulations (Figures 1 and 2) and the "CT" side
+// of Figure 4: one infinitely fast scheduler maintains a global queue
+// and hands out quanta to workers; the only cost is a configurable
+// per-preemption overhead.
+type CentralizedPS struct {
+	// Workers is the number of serving cores (paper: 16, with a 17th
+	// core acting as the free centralized scheduler).
+	Workers int
+	// Quantum is the processor-sharing quantum.
+	Quantum sim.Time
+	// PreemptOverhead is charged each time a worker switches away from
+	// an unfinished job (§2 evaluates 0, 0.1µs and 1µs).
+	PreemptOverhead sim.Time
+}
+
+// NewCentralizedPS returns the ideal CT machine.
+func NewCentralizedPS(workers int, quantum, overhead sim.Time) *CentralizedPS {
+	if workers <= 0 || quantum <= 0 || overhead < 0 {
+		panic("cluster: invalid CentralizedPS parameters")
+	}
+	return &CentralizedPS{Workers: workers, Quantum: quantum, PreemptOverhead: overhead}
+}
+
+// Name implements Machine.
+func (c *CentralizedPS) Name() string { return "CT-PS" }
+
+type ctRun struct {
+	m     *CentralizedPS
+	eng   *sim.Engine
+	cfg   RunConfig
+	met   *metrics
+	pool  jobPool
+	queue core.FIFO[*job]
+	idle  int
+	gen   *workload.Generator
+}
+
+// Run implements Machine.
+func (c *CentralizedPS) Run(cfg RunConfig) *Result {
+	cfg.validate()
+	r := &ctRun{
+		m:    c,
+		eng:  sim.New(),
+		cfg:  cfg,
+		met:  newMetrics(cfg),
+		idle: c.Workers,
+		gen:  workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
+	}
+	r.scheduleNextArrival()
+	r.eng.Run()
+	return r.met.result(c.Name(), 0)
+}
+
+func (r *ctRun) scheduleNextArrival() {
+	req := r.gen.Next()
+	if req.Arrival > r.cfg.Duration {
+		return
+	}
+	r.eng.At(req.Arrival, func() {
+		r.scheduleNextArrival()
+		j := r.pool.get()
+		j.id = req.ID
+		j.class = req.Class
+		j.arrival = req.Arrival
+		j.base = req.Service
+		j.service = req.Service
+		j.remain = req.Service
+		if r.idle > 0 {
+			r.idle--
+			r.runQuantum(j)
+		} else {
+			r.queue.Push(j)
+		}
+	})
+}
+
+// runQuantum executes one quantum of j on some worker (worker identity
+// is immaterial in the idealized model) and decides what the core does
+// next at the quantum boundary.
+func (r *ctRun) runQuantum(j *job) {
+	slice := j.remain
+	if slice > r.m.Quantum {
+		slice = r.m.Quantum
+	}
+	r.eng.After(slice, func() {
+		j.remain -= slice
+		if j.remain <= 0 {
+			r.met.record(j, r.eng.Now())
+			r.pool.put(j)
+			if next, ok := r.queue.Pop(); ok {
+				r.runQuantum(next)
+			} else {
+				r.idle++
+			}
+			return
+		}
+		next, ok := r.queue.Pop()
+		if !ok {
+			// Nothing else to run: keep executing the same job without
+			// a preemption (real PS would not switch).
+			r.runQuantum(j)
+			return
+		}
+		// Preempt: pay the switch overhead, requeue, run the next job.
+		r.queue.Push(j)
+		if r.m.PreemptOverhead > 0 {
+			r.eng.After(r.m.PreemptOverhead, func() { r.runQuantum(next) })
+		} else {
+			r.runQuantum(next)
+		}
+	})
+}
+
+var _ Machine = (*CentralizedPS)(nil)
+
+// NewIdealTLS returns a TQ machine stripped of every overhead, used by
+// the Figure 4 policy simulation ("TLS"): JSQ dispatch with the given
+// balancer, unbounded coroutines, free yields. It isolates the policy
+// comparison (CT vs JSQ-PS with MSQ or random tie-breaking) from
+// mechanism costs, exactly as §3.2 does.
+func NewIdealTLS(workers int, quantum sim.Time, balancer BalancerKind) *TQ {
+	p := TQParams{
+		Workers:       workers,
+		Quantum:       quantum,
+		Coroutines:    1 << 20, // effectively unbounded: pure per-core PS
+		YieldOverhead: 0,
+		ProbeOverhead: 0,
+		DispatchCost:  0,
+		ParseCost:     0,
+		StatsPeriod:   100 * sim.Nanosecond,
+		RTT:           0,
+		Balancer:      balancer,
+	}
+	name := "TLS-JSQ-PS"
+	switch balancer {
+	case BalanceJSQMSQ:
+		name += "-MSQ"
+	case BalanceJSQRandom:
+		name += "-RAND-TIE"
+	case BalanceRandom:
+		name = "TLS-RAND-PS"
+	case BalancePowerTwo:
+		name = "TLS-P2C-PS"
+	}
+	return NewTQ(p).Named(name)
+}

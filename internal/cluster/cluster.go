@@ -1,0 +1,228 @@
+// Package cluster contains discrete-event models of the scheduling
+// systems the Tiny Quanta paper evaluates (§5.1):
+//
+//   - TQ: the paper's system — a load-balancing-only dispatcher plus
+//     per-core processor-sharing over coroutines (two-level scheduling
+//     with forced multitasking), including the §5.4 variants (TQ-IC,
+//     TQ-SLOW-YIELD, TQ-TIMING, TQ-RAND, TQ-POWER-TWO, TQ-FCFS);
+//   - Shinjuku: centralized single-queue scheduling with interrupt-based
+//     preemption (Dune-style, ≈1µs interrupt latency);
+//   - Caladan: FCFS run-to-completion with RSS steering and work
+//     stealing, in IOKernel or directpath mode;
+//   - CentralizedPS: the idealized zero-overhead centralized processor
+//     sharing used by the §2 motivation simulations (Figures 1, 2, 4).
+//
+// All models share an event-level abstraction: jobs carry service
+// demands, workers execute quanta serially, and every mechanism cost
+// (coroutine yield, hardware interrupt, dispatcher op) is an explicit
+// parameter. Absolute numbers therefore depend on the calibration
+// constants in this file, but the comparative shapes — who saturates
+// first and where latency knees appear — depend only on the modelled
+// mechanisms, which is what the reproduction targets.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// job is the simulator's in-flight request state. Jobs are pooled per
+// run to keep the hot path allocation-free.
+type job struct {
+	id      uint64
+	class   workload.Class
+	arrival sim.Time
+	service sim.Time // demand after probe-overhead inflation
+	base    sim.Time // original demand, for slowdown accounting
+	remain  sim.Time
+	quanta  int64 // quanta serviced so far (MSQ bookkeeping)
+	worker  int   // owning worker, where applicable
+}
+
+// jobPool is a trivial freelist; the simulation is single-threaded.
+type jobPool struct{ free []*job }
+
+func (p *jobPool) get() *job {
+	if n := len(p.free); n > 0 {
+		j := p.free[n-1]
+		p.free = p.free[:n-1]
+		*j = job{}
+		return j
+	}
+	return &job{}
+}
+
+func (p *jobPool) put(j *job) { p.free = append(p.free, j) }
+
+// RunConfig describes one simulated experiment: a workload arriving at
+// a fixed open-loop rate for a fixed virtual duration.
+type RunConfig struct {
+	Workload *workload.Workload
+	// Rate is the offered load in requests per second.
+	Rate float64
+	// Duration is the simulated run length; requests stop arriving at
+	// Duration but in-flight jobs may still complete afterwards.
+	Duration sim.Time
+	// Warmup discards samples from requests that arrived before it
+	// (the paper discards the first 10% of each 10s run).
+	Warmup sim.Time
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (c RunConfig) validate() {
+	if c.Workload == nil {
+		panic("cluster: RunConfig.Workload is nil")
+	}
+	if c.Rate <= 0 {
+		panic("cluster: RunConfig.Rate must be positive")
+	}
+	if c.Duration <= 0 || c.Warmup < 0 || c.Warmup >= c.Duration {
+		panic("cluster: invalid Duration/Warmup")
+	}
+}
+
+// ClassMetrics aggregates completions of one request class.
+type ClassMetrics struct {
+	Name     string
+	Count    uint64
+	Sojourn  *stats.Sample // ns, dispatcher-arrival to completion (§5.1)
+	Slowdown *stats.Sample // sojourn / uninstrumented service time
+}
+
+// Result is the outcome of one Run.
+type Result struct {
+	System   string
+	Config   RunConfig
+	PerClass []ClassMetrics
+	// Completed counts post-warmup completions; Throughput is
+	// Completed divided by the post-warmup window, in requests/second.
+	Completed  uint64
+	Throughput float64
+	// RTT is the simulated network round-trip added to sojourn time
+	// when reporting end-to-end latency.
+	RTT sim.Time
+}
+
+// Class returns the metrics for the class with the given name, or nil.
+func (r *Result) Class(name string) *ClassMetrics {
+	for i := range r.PerClass {
+		if r.PerClass[i].Name == name {
+			return &r.PerClass[i]
+		}
+	}
+	return nil
+}
+
+// P999SojournUs returns the p99.9 sojourn time of a class in µs.
+func (r *Result) P999SojournUs(class string) float64 {
+	c := r.Class(class)
+	if c == nil || c.Count == 0 {
+		return 0
+	}
+	return c.Sojourn.P999() / 1000
+}
+
+// P999EndToEndUs returns the p99.9 end-to-end latency (sojourn + RTT)
+// of a class in µs, the metric used for cross-system comparisons.
+func (r *Result) P999EndToEndUs(class string) float64 {
+	c := r.Class(class)
+	if c == nil || c.Count == 0 {
+		return 0
+	}
+	return (c.Sojourn.P999() + float64(r.RTT)) / 1000
+}
+
+// P999Slowdown returns the p99.9 slowdown of a class; with class ""
+// it pools all classes (the paper's "overall slowdown" for TPC-C).
+func (r *Result) P999Slowdown(class string) float64 {
+	if class != "" {
+		c := r.Class(class)
+		if c == nil || c.Count == 0 {
+			return 0
+		}
+		return c.Slowdown.P999()
+	}
+	pooled := stats.NewSample(0)
+	for i := range r.PerClass {
+		for _, v := range r.PerClass[i].Slowdown.Values() {
+			pooled.Add(v)
+		}
+	}
+	if pooled.Len() == 0 {
+		return 0
+	}
+	return pooled.P999()
+}
+
+// metrics is the recording half shared by all machines.
+type metrics struct {
+	cfg      RunConfig
+	perClass []ClassMetrics
+	done     uint64
+}
+
+func newMetrics(cfg RunConfig) *metrics {
+	m := &metrics{cfg: cfg}
+	for _, c := range cfg.Workload.Classes {
+		m.perClass = append(m.perClass, ClassMetrics{
+			Name:     c.Name,
+			Sojourn:  stats.NewSample(1024),
+			Slowdown: stats.NewSample(1024),
+		})
+	}
+	return m
+}
+
+// record notes a completion at time now for a job that arrived at
+// j.arrival with base demand j.base. Only completions inside the
+// measurement window count: jobs finishing during the post-arrival
+// drain would otherwise credit an overloaded system with throughput it
+// cannot sustain.
+func (m *metrics) record(j *job, now sim.Time) {
+	if j.arrival < m.cfg.Warmup || now > m.cfg.Duration {
+		return
+	}
+	c := &m.perClass[j.class]
+	c.Count++
+	m.done++
+	sojourn := now - j.arrival
+	c.Sojourn.Add(float64(sojourn))
+	c.Slowdown.Add(float64(sojourn) / float64(j.base))
+}
+
+func (m *metrics) result(system string, rtt sim.Time) *Result {
+	window := (m.cfg.Duration - m.cfg.Warmup).Seconds()
+	return &Result{
+		System:     system,
+		Config:     m.cfg,
+		PerClass:   m.perClass,
+		Completed:  m.done,
+		Throughput: float64(m.done) / window,
+		RTT:        rtt,
+	}
+}
+
+// Machine is a simulated scheduling system.
+type Machine interface {
+	// Run simulates the configuration and returns its metrics.
+	Run(cfg RunConfig) *Result
+	// Name identifies the system in reports.
+	Name() string
+}
+
+// String renders a one-line summary, useful in logs and examples.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s rate=%.2gMrps tput=%.2gMrps", r.System, r.Config.Rate/1e6, r.Throughput/1e6)
+	for i := range r.PerClass {
+		c := &r.PerClass[i]
+		if c.Count == 0 {
+			continue
+		}
+		s += fmt.Sprintf(" %s[p999=%.1fµs n=%d]", c.Name, c.Sojourn.P999()/1000, c.Count)
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Example simulates TQ on the High Bimodal workload at 60% load and
+// reports whether short jobs met a 50µs tail budget.
+func Example() {
+	w := workload.HighBimodal()
+	tq := cluster.NewTQ(cluster.NewTQParams())
+	res := tq.Run(cluster.RunConfig{
+		Workload: w,
+		Rate:     0.6 * w.MaxLoad(16),
+		Duration: 80 * sim.Millisecond,
+		Warmup:   8 * sim.Millisecond,
+		Seed:     1,
+	})
+	fmt.Printf("short jobs under 50µs p99.9: %v\n", res.P999EndToEndUs("Short") < 50)
+	// Output:
+	// short jobs under 50µs p99.9: true
+}

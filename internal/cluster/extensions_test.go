@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestLASImprovesShortJobTails(t *testing.T) {
+	// LAS strictly prioritizes jobs with less attained service: on the
+	// extreme bimodal mix, short jobs should see tails at least as
+	// good as PS at high load.
+	w := workload.ExtremeBimodal()
+	rate := 0.75 * w.MaxLoad(16)
+	cfg := testCfg(w, rate)
+	ps := NewTQ(NewTQParams()).Run(cfg)
+	las := NewTQLAS(NewTQParams()).Run(cfg)
+	p, l := ps.P999SojournUs("Short"), las.P999SojournUs("Short")
+	if l > p*1.05 {
+		t.Fatalf("LAS short-job p99.9 (%vµs) worse than PS (%vµs)", l, p)
+	}
+	if las.Completed == 0 {
+		t.Fatal("LAS completed nothing")
+	}
+}
+
+func TestLASCompletesLongJobs(t *testing.T) {
+	// LAS must not starve long jobs when capacity exists.
+	w := workload.HighBimodal()
+	cfg := testCfg(w, 0.5*w.MaxLoad(16))
+	res := NewTQLAS(NewTQParams()).Run(cfg)
+	if c := res.Class("Long"); c == nil || c.Count == 0 {
+		t.Fatal("LAS starved long jobs at 50% load")
+	}
+}
+
+func TestMultiDispatcherScalesThroughput(t *testing.T) {
+	// Offer far more than one dispatcher can handle (70ns/req ->
+	// ~14Mrps each): two dispatchers should complete well over 1.5x
+	// what one does.
+	w := workload.Fixed("tiny", 100*sim.Nanosecond)
+	mk := func(d int) *Result {
+		p := NewTQParams()
+		p.Workers = 64
+		p.Coroutines = 16
+		p.Dispatchers = d
+		return NewTQ(p).Run(RunConfig{
+			Workload: w,
+			Rate:     40e6,
+			Duration: 10 * sim.Millisecond,
+			Warmup:   sim.Millisecond,
+			Seed:     1,
+		})
+	}
+	one := mk(1)
+	two := mk(2)
+	if two.Throughput < 1.5*one.Throughput {
+		t.Fatalf("2 dispatchers -> %.3gMrps, 1 dispatcher -> %.3gMrps: no scaling",
+			two.Throughput/1e6, one.Throughput/1e6)
+	}
+}
+
+func TestConcordBeatsShinjukuButSaturatesBelowTQ(t *testing.T) {
+	// Concord's cheap cache-line preemption removes the interrupt tax,
+	// but its centralized dispatcher still carries per-quantum load:
+	// on a dispatcher-bound workload TQ completes more.
+	w := workload.ExtremeBimodal()
+	rate := 0.85 * w.MaxLoad(16)
+	cfg := testCfg(w, rate)
+	sj := NewShinjuku(NewShinjukuParams(sim.Micros(5))).Run(cfg)
+	con := NewConcord(sim.Micros(5)).Run(cfg)
+	tq := NewTQ(NewTQParams()).Run(cfg)
+	if con.Throughput <= sj.Throughput {
+		t.Fatalf("Concord throughput %v not above Shinjuku %v", con.Throughput, sj.Throughput)
+	}
+	if tq.Throughput < con.Throughput*0.95 {
+		t.Fatalf("TQ throughput %v fell below Concord %v", tq.Throughput, con.Throughput)
+	}
+	if con.System != "Concord" {
+		t.Fatalf("Concord named %q", con.System)
+	}
+}
+
+func TestLibPreemptibleClampsQuantumAndPaysInterrupts(t *testing.T) {
+	p := NewTQParams()
+	p.Quantum = sim.Micros(1) // below UINTR's practical floor
+	lp := NewLibPreemptible(p)
+	if lp.P.Quantum != sim.Micros(3) {
+		t.Fatalf("quantum not clamped to 3µs: %v", lp.P.Quantum)
+	}
+	if lp.Name() != "LibPreemptible" {
+		t.Fatalf("name %q", lp.Name())
+	}
+	// On a preemption-heavy mix, the ~1µs per-preemption cost loses
+	// throughput against TQ at high load.
+	w := workload.RocksDB(0.5)
+	rate := 0.9 * w.MaxLoad(16)
+	cfg := testCfg(w, rate)
+	tq := NewTQ(NewTQParams()).Run(cfg)
+	lpRes := lp.Run(cfg)
+	if lpRes.Throughput >= tq.Throughput {
+		t.Fatalf("LibPreemptible throughput %v not below TQ %v", lpRes.Throughput, tq.Throughput)
+	}
+}
+
+func TestMultiDispatcherDefaultsToOne(t *testing.T) {
+	// Dispatchers=0 must behave identically to Dispatchers=1.
+	w := workload.HighBimodal()
+	cfg := testCfg(w, 0.4*w.MaxLoad(16))
+	p0 := NewTQParams()
+	p1 := NewTQParams()
+	p1.Dispatchers = 1
+	a := NewTQ(p0).Run(cfg)
+	b := NewTQ(p1).Run(cfg)
+	if a.Completed != b.Completed {
+		t.Fatalf("Dispatchers=0 (%d) differs from Dispatchers=1 (%d)", a.Completed, b.Completed)
+	}
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// allMachines builds one instance of every machine model at the given
+// worker count.
+func allMachines(workers int) []Machine {
+	tp := NewTQParams()
+	tp.Workers = workers
+	sp := NewShinjukuParams(sim.Micros(5))
+	sp.Workers = workers
+	cpIOK := NewCaladanParams(IOKernel)
+	cpIOK.Workers = workers
+	cpDP := NewCaladanParams(Directpath)
+	cpDP.Workers = workers
+	lasP := NewTQParams()
+	lasP.Workers = workers
+	return []Machine{
+		NewTQ(tp),
+		NewTQLAS(lasP),
+		NewShinjuku(sp),
+		NewConcord(sim.Micros(5)),
+		NewCaladan(cpIOK),
+		NewCaladan(cpDP),
+		NewCentralizedPS(workers, sim.Micros(2), 0),
+	}
+}
+
+// TestSlowdownNeverBelowOne: no machine may report a completion faster
+// than its uninstrumented service time.
+func TestSlowdownNeverBelowOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		w := workload.HighBimodal()
+		cfg := RunConfig{
+			Workload: w,
+			Rate:     0.5 * w.MaxLoad(4),
+			Duration: 15 * sim.Millisecond,
+			Warmup:   sim.Millisecond,
+			Seed:     seed,
+		}
+		for _, m := range allMachines(4) {
+			res := m.Run(cfg)
+			for i := range res.PerClass {
+				c := &res.PerClass[i]
+				if c.Count > 0 && c.Slowdown.Min() < 1 {
+					t.Logf("%s class %s slowdown %v < 1", m.Name(), c.Name, c.Slowdown.Min())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnderloadedCompletesOffered: at 30% load every machine must
+// complete essentially the offered rate within the window.
+func TestUnderloadedCompletesOffered(t *testing.T) {
+	w := workload.TPCC()
+	rate := 0.3 * w.MaxLoad(8)
+	cfg := RunConfig{
+		Workload: w,
+		Rate:     rate,
+		Duration: 60 * sim.Millisecond,
+		Warmup:   6 * sim.Millisecond,
+		Seed:     2,
+	}
+	for _, m := range allMachines(8) {
+		res := m.Run(cfg)
+		if res.Throughput < 0.9*rate {
+			t.Errorf("%s throughput %v below 90%% of offered %v", m.Name(), res.Throughput, rate)
+		}
+	}
+}
+
+// TestSingleWorkerDegeneracy: every machine works with one worker.
+func TestSingleWorkerDegeneracy(t *testing.T) {
+	w := workload.Exp1()
+	cfg := RunConfig{
+		Workload: w,
+		Rate:     0.5 * w.MaxLoad(1),
+		Duration: 20 * sim.Millisecond,
+		Warmup:   2 * sim.Millisecond,
+		Seed:     3,
+	}
+	for _, m := range allMachines(1) {
+		res := m.Run(cfg)
+		if res.Completed == 0 {
+			t.Errorf("%s completed nothing with one worker", m.Name())
+		}
+	}
+}
+
+// TestQuantumLargerThanAnyJob: with a huge quantum, TQ degenerates to
+// FCFS-per-coroutine and must still complete everything.
+func TestQuantumLargerThanAnyJob(t *testing.T) {
+	p := NewTQParams()
+	p.Quantum = sim.Second
+	w := workload.HighBimodal()
+	res := NewTQ(p).Run(testCfg(w, 0.5*w.MaxLoad(16)))
+	if res.Completed == 0 {
+		t.Fatal("no completions with giant quantum")
+	}
+	// No job should ever be preempted: every job takes exactly one
+	// quantum, so the achieved-interval sample stays empty.
+	_, achieved := NewTQ(p).RunMeasured(testCfg(w, 0.5*w.MaxLoad(16)))
+	if achieved.Len() != 0 {
+		t.Fatalf("giant quantum still preempted %d times", achieved.Len())
+	}
+}
+
+// TestDeterminismAcrossMachines: every machine is reproducible.
+func TestDeterminismAcrossMachines(t *testing.T) {
+	w := workload.RocksDB(0.005)
+	cfg := testCfg(w, 0.5*w.MaxLoad(4))
+	for _, mk := range []func() Machine{
+		func() Machine { p := NewTQParams(); p.Workers = 4; return NewTQ(p) },
+		func() Machine { p := NewShinjukuParams(sim.Micros(5)); p.Workers = 4; return NewShinjuku(p) },
+		func() Machine { p := NewCaladanParams(IOKernel); p.Workers = 4; return NewCaladan(p) },
+		func() Machine { return NewCentralizedPS(4, sim.Micros(2), 0) },
+	} {
+		a := mk().Run(cfg)
+		b := mk().Run(cfg)
+		if a.Completed != b.Completed {
+			t.Errorf("%s not deterministic: %d vs %d completions", a.System, a.Completed, b.Completed)
+		}
+	}
+}
+
+// TestOverloadDoesNotWedge: machines at 3x capacity must still make
+// progress and terminate.
+func TestOverloadDoesNotWedge(t *testing.T) {
+	w := workload.Exp1()
+	cfg := RunConfig{
+		Workload: w,
+		Rate:     3 * w.MaxLoad(4),
+		Duration: 10 * sim.Millisecond,
+		Warmup:   sim.Millisecond,
+		Seed:     4,
+	}
+	for _, m := range allMachines(4) {
+		res := m.Run(cfg)
+		if res.Completed == 0 {
+			t.Errorf("%s made no progress under overload", m.Name())
+		}
+		// Sustained throughput cannot exceed capacity (with a little
+		// slack for the measurement window).
+		if res.Throughput > 1.15*w.MaxLoad(4) {
+			t.Errorf("%s throughput %v exceeds capacity %v", m.Name(), res.Throughput, w.MaxLoad(4))
+		}
+	}
+}
+
+// TestTQWithOneCoroutinePerWorker: degenerates to per-worker FCFS of
+// admitted jobs; still correct.
+func TestTQWithOneCoroutinePerWorker(t *testing.T) {
+	p := NewTQParams()
+	p.Coroutines = 1
+	w := workload.ExtremeBimodal()
+	res := NewTQ(p).Run(testCfg(w, 0.4*w.MaxLoad(16)))
+	if res.Completed == 0 {
+		t.Fatal("no completions with 1 coroutine per worker")
+	}
+	for i := range res.PerClass {
+		c := &res.PerClass[i]
+		if c.Count > 0 && c.Slowdown.Min() < 1 {
+			t.Fatalf("slowdown below 1 with single coroutine")
+		}
+	}
+}
+
+// TestZeroWarmupAllowed: Warmup == 0 is a valid configuration.
+func TestZeroWarmupAllowed(t *testing.T) {
+	w := workload.Exp1()
+	res := NewTQ(NewTQParams()).Run(RunConfig{
+		Workload: w,
+		Rate:     0.3 * w.MaxLoad(16),
+		Duration: 5 * sim.Millisecond,
+		Warmup:   0,
+		Seed:     1,
+	})
+	if res.Completed == 0 {
+		t.Fatal("no completions with zero warmup")
+	}
+}

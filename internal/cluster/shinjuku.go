@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ShinjukuParams configures the Shinjuku baseline model: centralized
+// single-queue scheduling where a dispatcher core processes packets,
+// assigns jobs, and preempts workers with Dune-based hardware
+// interrupts (§5.1, [34]).
+//
+// The cost constants are calibrated to the paper's observations: a
+// centralized dispatcher core sustains ≈5Mrps of plain request
+// processing (§6), and the interrupt path costs ≈1µs on the preempted
+// worker (§1). Each constant is an explicit knob so ablations can test
+// sensitivity.
+type ShinjukuParams struct {
+	// Workers is the number of worker cores (paper: 16).
+	Workers int
+	// Quantum is the preemption interval. The paper runs Shinjuku at
+	// its per-workload sweet spot: 5µs for the bimodals, 10µs for
+	// TPC-C and Exp(1), 15µs for RocksDB.
+	Quantum sim.Time
+	// NetCost is dispatcher time per incoming request (RX, parse,
+	// enqueue).
+	NetCost sim.Time
+	// RespCost is dispatcher/net-worker time per outgoing response.
+	RespCost sim.Time
+	// SchedCost is dispatcher time to pick and hand a job to a worker.
+	SchedCost sim.Time
+	// IPICost is dispatcher time to post one preemption interrupt (a
+	// posted-interrupt write is much cheaper than packet processing).
+	IPICost sim.Time
+	// RXQueue bounds the backlog of unprocessed dispatcher work, in
+	// requests; arrivals beyond it are dropped, as a saturated NIC RX
+	// ring drops packets. Without this bound an overloaded centralized
+	// dispatcher would starve its scheduling ops behind an unbounded
+	// packet backlog, which no real system does.
+	RXQueue int
+	// InterruptOverhead is worker time lost per received interrupt
+	// (ring transition, context save/restore — ≈1µs under Dune).
+	InterruptOverhead sim.Time
+	// RTT is the simulated network round trip for end-to-end latency.
+	RTT sim.Time
+}
+
+// NewShinjukuParams returns the calibrated defaults with the given
+// quantum.
+func NewShinjukuParams(quantum sim.Time) ShinjukuParams {
+	return ShinjukuParams{
+		Workers:           16,
+		Quantum:           quantum,
+		NetCost:           190 * sim.Nanosecond,
+		RespCost:          90 * sim.Nanosecond,
+		SchedCost:         110 * sim.Nanosecond,
+		IPICost:           25 * sim.Nanosecond,
+		InterruptOverhead: sim.Micros(1),
+		RTT:               sim.Micros(8),
+		RXQueue:           2048,
+	}
+}
+
+// Shinjuku is the centralized interrupt-driven baseline.
+type Shinjuku struct {
+	P    ShinjukuParams
+	name string
+}
+
+// NewShinjuku returns a Shinjuku machine.
+func NewShinjuku(p ShinjukuParams) *Shinjuku {
+	if p.Workers <= 0 || p.Quantum <= 0 {
+		panic("cluster: invalid Shinjuku parameters")
+	}
+	return &Shinjuku{P: p, name: "Shinjuku"}
+}
+
+// Name implements Machine.
+func (s *Shinjuku) Name() string { return s.name }
+
+type sjWorker struct {
+	busy bool
+	// gen invalidates stale completion/preemption events after the
+	// worker switches jobs.
+	gen     uint64
+	current *job
+	started sim.Time // when the current dispatch began running
+}
+
+type sjRun struct {
+	m       *Shinjuku
+	eng     *sim.Engine
+	cfg     RunConfig
+	met     *metrics
+	pool    jobPool
+	queue   core.FIFO[*job]
+	workers []sjWorker
+	idle    []int // indices of idle workers
+	gen     *workload.Generator
+
+	// The dispatcher core is a serial server over two op classes:
+	// scheduling work (assignments, IPIs) takes priority over packet
+	// processing, as the real dispatcher's loop checks preemption
+	// timers and worker states before polling more packets. Without
+	// the priority, an overloaded dispatcher would starve scheduling
+	// behind its RX backlog entirely.
+	schedOps core.FIFO[dispOp]
+	netOps   core.FIFO[dispOp]
+	dispBusy bool
+
+	// achieved records the realized preemption intervals, used by the
+	// Figure 16 dispatcher-scalability experiment.
+	achieved *stats.Sample
+}
+
+type dispOp struct {
+	cost sim.Time
+	fn   func()
+}
+
+// dispatcherOp enqueues work on the dispatcher core. Scheduling ops
+// (sched=true) are served before packet ops.
+func (r *sjRun) dispatcherOp(sched bool, cost sim.Time, fn func()) {
+	op := dispOp{cost: cost, fn: fn}
+	if sched {
+		r.schedOps.Push(op)
+	} else {
+		r.netOps.Push(op)
+	}
+	r.serveDispatcher()
+}
+
+func (r *sjRun) serveDispatcher() {
+	if r.dispBusy {
+		return
+	}
+	op, ok := r.schedOps.Pop()
+	if !ok {
+		op, ok = r.netOps.Pop()
+	}
+	if !ok {
+		return
+	}
+	r.dispBusy = true
+	r.eng.After(op.cost, func() {
+		op.fn()
+		r.dispBusy = false
+		r.serveDispatcher()
+	})
+}
+
+// Run implements Machine.
+func (s *Shinjuku) Run(cfg RunConfig) *Result {
+	res, _ := s.run(cfg)
+	return res
+}
+
+// RunMeasured also returns the realized preemption intervals (the
+// "average quantum scheduled by the dispatcher" of §5.6).
+func (s *Shinjuku) RunMeasured(cfg RunConfig) (*Result, *stats.Sample) {
+	return s.run(cfg)
+}
+
+func (s *Shinjuku) run(cfg RunConfig) (*Result, *stats.Sample) {
+	cfg.validate()
+	r := &sjRun{
+		m:        s,
+		eng:      sim.New(),
+		cfg:      cfg,
+		met:      newMetrics(cfg),
+		workers:  make([]sjWorker, s.P.Workers),
+		gen:      workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
+		achieved: stats.NewSample(1024),
+	}
+	for w := range r.workers {
+		r.idle = append(r.idle, w)
+	}
+	r.scheduleNextArrival()
+	r.eng.Run()
+	return r.met.result(s.Name(), s.P.RTT), r.achieved
+}
+
+func (r *sjRun) scheduleNextArrival() {
+	req := r.gen.Next()
+	if req.Arrival > r.cfg.Duration {
+		return
+	}
+	r.eng.At(req.Arrival, func() {
+		r.scheduleNextArrival()
+		// A saturated dispatcher drops packets at the RX ring.
+		if r.m.P.RXQueue > 0 && r.netOps.Len() >= r.m.P.RXQueue {
+			return
+		}
+		j := r.pool.get()
+		j.id = req.ID
+		j.class = req.Class
+		j.arrival = req.Arrival
+		j.base = req.Service
+		j.service = req.Service
+		j.remain = req.Service
+		r.dispatcherOp(false, r.m.P.NetCost, func() { r.enqueue(j) })
+	})
+}
+
+// enqueue adds a job to the central queue and, if a worker is idle,
+// issues the dispatcher's assignment op.
+func (r *sjRun) enqueue(j *job) {
+	r.queue.Push(j)
+	r.tryAssign()
+}
+
+func (r *sjRun) tryAssign() {
+	if len(r.idle) == 0 || r.queue.Len() == 0 {
+		return
+	}
+	w := r.idle[len(r.idle)-1]
+	r.idle = r.idle[:len(r.idle)-1]
+	j, _ := r.queue.Pop()
+	r.dispatcherOp(true, r.m.P.SchedCost, func() { r.startOn(w, j) })
+}
+
+// startOn begins executing j on worker w. Two events race: natural
+// completion, and a preemption interrupt that the dispatcher posts at
+// quantum expiry (the interrupt lands late if the dispatcher is busy —
+// the job keeps running meanwhile, which is exactly the quantum
+// inflation Figure 16 measures).
+func (r *sjRun) startOn(w int, j *job) {
+	wk := &r.workers[w]
+	wk.busy = true
+	wk.gen++
+	wk.current = j
+	wk.started = r.eng.Now()
+	gen := wk.gen
+
+	r.eng.After(j.remain, func() {
+		if wk.gen != gen {
+			return // preempted before completing
+		}
+		r.complete(w, j)
+	})
+	if j.remain > r.m.P.Quantum {
+		r.eng.After(r.m.P.Quantum, func() {
+			if wk.gen != gen {
+				return // completed first (cannot happen given remain>quantum, but stay safe)
+			}
+			// The dispatcher posts the IPI when it gets to this op;
+			// until then the worker keeps executing the job.
+			r.dispatcherOp(true, r.m.P.IPICost, func() {
+				if wk.gen != gen {
+					return // job finished while the IPI was in flight
+				}
+				r.preempt(w)
+			})
+		})
+	}
+}
+
+func (r *sjRun) complete(w int, j *job) {
+	wk := &r.workers[w]
+	wk.gen++
+	wk.busy = false
+	wk.current = nil
+	r.met.record(j, r.eng.Now())
+	r.pool.put(j)
+	// Response goes out through the networking half of the centralized
+	// core.
+	r.dispatcherOp(false, r.m.P.RespCost, func() {})
+	r.idle = append(r.idle, w)
+	r.tryAssign()
+}
+
+// preempt interrupts worker w: the job has run since wk.started, the
+// worker pays the interrupt overhead, and the job rejoins the tail of
+// the central queue.
+func (r *sjRun) preempt(w int) {
+	wk := &r.workers[w]
+	j := wk.current
+	ran := r.eng.Now() - wk.started
+	if ran >= j.remain {
+		// The job finished at exactly this instant; treat as complete.
+		j.remain = 0
+		r.complete(w, j)
+		return
+	}
+	r.achieved.Add(float64(ran))
+	j.remain -= ran
+	wk.gen++
+	wk.busy = false
+	wk.current = nil
+	r.eng.After(r.m.P.InterruptOverhead, func() {
+		r.queue.Push(j)
+		r.idle = append(r.idle, w)
+		r.tryAssign()
+	})
+}
+
+var _ Machine = (*Shinjuku)(nil)

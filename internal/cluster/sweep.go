@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RatesUpTo returns n evenly spaced rates from max/n to max — the
+// standard sweep grid used by the figure drivers.
+func RatesUpTo(max float64, n int) []float64 {
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = max * float64(i+1) / float64(n)
+	}
+	return rates
+}
+
+// Sweep runs the machine at every rate and returns one Result per
+// point, in rate order. Workload definitions are stateless, so the same
+// value is shared across runs; each run constructs its own generator.
+func Sweep(m Machine, w *workload.Workload, rates []float64, dur, warm sim.Time, seed uint64) []*Result {
+	out := make([]*Result, 0, len(rates))
+	for _, rate := range rates {
+		out = append(out, m.Run(RunConfig{
+			Workload: w,
+			Rate:     rate,
+			Duration: dur,
+			Warmup:   warm,
+			Seed:     seed,
+		}))
+	}
+	return out
+}
+
+// LatencySeries extracts a (rate, p99.9 end-to-end µs) curve for one
+// class from sweep results, the y-axis of the cross-system figures.
+func LatencySeries(label, class string, results []*Result) stats.Series {
+	s := stats.Series{Label: label}
+	for _, r := range results {
+		s.Append(r.Config.Rate, r.P999EndToEndUs(class))
+	}
+	return s
+}
+
+// SojournSeries extracts a (rate, p99.9 sojourn µs) curve for one
+// class, used for intra-TQ comparisons (§5.1 uses sojourn time there).
+func SojournSeries(label, class string, results []*Result) stats.Series {
+	s := stats.Series{Label: label}
+	for _, r := range results {
+		s.Append(r.Config.Rate, r.P999SojournUs(class))
+	}
+	return s
+}
+
+// SlowdownSeries extracts a (rate, p99.9 slowdown) curve for one class
+// ("" pools all classes).
+func SlowdownSeries(label, class string, results []*Result) stats.Series {
+	s := stats.Series{Label: label}
+	for _, r := range results {
+		s.Append(r.Config.Rate, r.P999Slowdown(class))
+	}
+	return s
+}
+
+// MaxRateUnder scans rates in ascending order and returns the highest
+// rate whose result satisfies ok, stopping at the first violation
+// (latency-vs-load curves are monotone once they knee). Returns 0 if
+// even the lowest rate violates.
+func MaxRateUnder(m Machine, w *workload.Workload, rates []float64, dur, warm sim.Time, seed uint64, ok func(*Result) bool) float64 {
+	best := 0.0
+	for _, rate := range rates {
+		r := m.Run(RunConfig{
+			Workload: w,
+			Rate:     rate,
+			Duration: dur,
+			Warmup:   warm,
+			Seed:     seed,
+		})
+		if !ok(r) {
+			break
+		}
+		best = rate
+	}
+	return best
+}

@@ -1,0 +1,428 @@
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BalancerKind selects the TQ dispatcher's load-balancing policy.
+type BalancerKind int
+
+// Dispatcher load-balancing policies (§3.2, §5.4).
+const (
+	BalanceJSQMSQ    BalancerKind = iota // JSQ with MSQ tie-breaking (TQ default)
+	BalanceJSQRandom                     // JSQ with random tie-breaking
+	BalanceRandom                        // TQ-RAND
+	BalancePowerTwo                      // TQ-POWER-TWO
+)
+
+// TQParams configures the TQ machine model. NewTQParams supplies the
+// defaults matching the paper's setup (§5.1) and its measured
+// mechanism costs (§3.1, §4, §6).
+type TQParams struct {
+	// Workers is the number of worker cores (paper: 16).
+	Workers int
+	// Quantum is the processor-sharing quantum (paper default: 2µs).
+	Quantum sim.Time
+	// Coroutines is the number of task coroutines per worker (paper:
+	// 8; jobs beyond this wait in the worker's dispatch queue).
+	Coroutines int
+	// YieldOverhead is the cost of one coroutine switch back to the
+	// scheduler coroutine and out to the next task (Boost coroutines
+	// yield in 20-40ns; TQ-SLOW-YIELD adds 1µs).
+	YieldOverhead sim.Time
+	// ProbeOverhead inflates every job's service time by this fraction
+	// to model compiler-inserted probe cost (TQ's pass ≈3-5%; the
+	// instruction-counter baseline ≈60% on RocksDB GET, §3.1).
+	ProbeOverhead float64
+	// DispatchCost is the dispatcher's per-request cost. §6 reports
+	// the TQ dispatcher sustains ≈14Mrps, i.e. ≈70ns per request.
+	DispatchCost sim.Time
+	// ParseCost is the worker-side cost to parse a request and bind it
+	// to a coroutine (§4: the scheduler coroutine parses requests).
+	ParseCost sim.Time
+	// StatsPeriod is how often the dispatcher refreshes its view of
+	// worker counters; load information is stale by up to this much.
+	StatsPeriod sim.Time
+	// RXQueue bounds the dispatcher's unprocessed-request backlog, in
+	// requests; arrivals beyond it drop as at a full NIC RX ring.
+	RXQueue int
+	// Trace, when non-nil, records the scheduling timeline (job
+	// arrivals, dispatches, quanta, completions) for inspection.
+	Trace *trace.Recorder
+	// RTT is the network round-trip added when reporting end-to-end
+	// latency.
+	RTT sim.Time
+	// Balancer picks the dispatcher policy.
+	Balancer BalancerKind
+	// Policy selects the worker's quantum-scheduling order: processor
+	// sharing (default) or least attained service.
+	Policy WorkerPolicy
+	// Dispatchers is the number of dispatcher cores (§6 extension);
+	// incoming requests are RSS-steered across them and each runs the
+	// balancing policy over a shared view. Zero means one.
+	Dispatchers int
+	// FCFS, when set, disables preemption entirely: each coroutine
+	// runs its job to completion (the TQ-FCFS variant).
+	FCFS bool
+	// QuantumForClass, when non-nil, overrides the quantum per request
+	// class — the TQ-TIMING variant emulates inaccurate preemption
+	// timing by giving classes wrong quanta (1µs for GET, 3µs for
+	// SCAN against a 2µs target, §5.4).
+	QuantumForClass func(workload.Class) sim.Time
+}
+
+// NewTQParams returns the paper's default configuration.
+func NewTQParams() TQParams {
+	return TQParams{
+		Workers:       16,
+		Quantum:       sim.Micros(2),
+		Coroutines:    8,
+		YieldOverhead: 30 * sim.Nanosecond,
+		ProbeOverhead: 0.04,
+		DispatchCost:  70 * sim.Nanosecond,
+		ParseCost:     40 * sim.Nanosecond,
+		StatsPeriod:   sim.Micros(1),
+		RTT:           sim.Micros(8),
+		Balancer:      BalanceJSQMSQ,
+		RXQueue:       2048,
+	}
+}
+
+// TQ is the two-level-scheduling machine (§3.2): a dispatcher that only
+// load-balances, and workers that interleave job quanta with forced
+// multitasking.
+type TQ struct {
+	P    TQParams
+	name string
+}
+
+// NewTQ returns a TQ machine with the given parameters.
+func NewTQ(p TQParams) *TQ {
+	if p.Workers <= 0 || p.Coroutines <= 0 {
+		panic("cluster: TQ needs at least one worker and one coroutine")
+	}
+	if p.Quantum <= 0 && !p.FCFS {
+		panic("cluster: TQ quantum must be positive")
+	}
+	return &TQ{P: p, name: "TQ"}
+}
+
+// Named sets the report name (used for variants like "TQ-IC").
+func (t *TQ) Named(name string) *TQ { t.name = name; return t }
+
+// Name implements Machine.
+func (t *TQ) Name() string { return t.name }
+
+// tqWorker is one simulated worker core.
+type tqWorker struct {
+	active  core.FIFO[*job]     // busy coroutines, PS order
+	las     core.LASQueue[*job] // busy coroutines, LAS order
+	waiting core.FIFO[*job]     // dispatch queue (no free coroutine yet)
+	idle    int                 // idle coroutine count
+	running bool
+	// Worker-side statistics the dispatcher reads (§4). finished wraps
+	// like a fixed-width counter would; the dispatcher recovers totals
+	// by deltas.
+	finished  uint64
+	curQuanta int64 // quanta serviced for current (unfinished) jobs
+}
+
+// pushRunnable enqueues a busy coroutine in policy order.
+func (wk *tqWorker) pushRunnable(p WorkerPolicy, j *job) {
+	if p == PolicyLAS {
+		wk.las.Push(j, int64(j.service-j.remain))
+		return
+	}
+	wk.active.Push(j)
+}
+
+// popRunnable dequeues the next coroutine to resume in policy order.
+func (wk *tqWorker) popRunnable(p WorkerPolicy) (*job, bool) {
+	if p == PolicyLAS {
+		j, _, ok := wk.las.Pop()
+		return j, ok
+	}
+	return wk.active.Pop()
+}
+
+type tqRun struct {
+	m       *TQ
+	eng     *sim.Engine
+	cfg     RunConfig
+	rand    *rng.Rand
+	met     *metrics
+	pool    jobPool
+	workers []tqWorker
+	tracker *core.LoadTracker
+	bal     core.Balancer
+
+	// Dispatcher serial-server state, one entry per dispatcher core:
+	// busyUntil is when that dispatcher frees up; requests queue FIFO
+	// implicitly via the timestamp.
+	dispBusyUntil []sim.Time
+	rss           core.RSS
+	// lastRefresh is when the dispatcher last read the worker counters;
+	// its load view is stale by up to StatsPeriod (§4's periodic reads).
+	lastRefresh sim.Time
+
+	gen *workload.Generator
+
+	// achieved records realized preemption intervals (full quanta plus
+	// the yield switch), for the Figure 16 accuracy measurement.
+	achieved *stats.Sample
+}
+
+// Run implements Machine.
+func (t *TQ) Run(cfg RunConfig) *Result {
+	res, _ := t.run(cfg)
+	return res
+}
+
+// RunMeasured also returns the realized preemption intervals — the
+// quantum sizes the workers actually schedule, compared against the
+// target in the §5.6 scalability experiment.
+func (t *TQ) RunMeasured(cfg RunConfig) (*Result, *stats.Sample) {
+	return t.run(cfg)
+}
+
+func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
+	cfg.validate()
+	r := &tqRun{
+		m:       t,
+		eng:     sim.New(),
+		cfg:     cfg,
+		rand:    rng.New(cfg.Seed),
+		met:     newMetrics(cfg),
+		workers: make([]tqWorker, t.P.Workers),
+		tracker: core.NewLoadTracker(t.P.Workers, 32),
+	}
+	for i := range r.workers {
+		r.workers[i].idle = t.P.Coroutines
+	}
+	switch t.P.Balancer {
+	case BalanceJSQMSQ:
+		r.bal = core.NewJSQ(core.MSQ{})
+	case BalanceJSQRandom:
+		r.bal = core.NewJSQ(core.RandomTie{R: r.rand.Split()})
+	case BalanceRandom:
+		r.bal = core.Random{R: r.rand.Split()}
+	case BalancePowerTwo:
+		r.bal = core.PowerOfTwo{R: r.rand.Split()}
+	default:
+		panic("cluster: unknown balancer kind")
+	}
+	r.gen = workload.NewGenerator(cfg.Workload, cfg.Rate, r.rand.Split())
+	r.lastRefresh = -t.P.StatsPeriod // force a refresh on first dispatch
+	r.achieved = stats.NewSample(1024)
+	nDisp := t.P.Dispatchers
+	if nDisp <= 0 {
+		nDisp = 1
+	}
+	r.dispBusyUntil = make([]sim.Time, nDisp)
+	r.scheduleNextArrival()
+	r.eng.Run()
+	return r.met.result(t.name, t.P.RTT), r.achieved
+}
+
+// emit records a trace event when tracing is enabled.
+func (r *tqRun) emit(e trace.Event) {
+	if r.m.P.Trace != nil {
+		r.m.P.Trace.Emit(e)
+	}
+}
+
+// refreshView re-reads worker counters if the dispatcher's view is
+// older than StatsPeriod, modelling §4's periodic counter reads with
+// their inherent staleness.
+func (r *tqRun) refreshView() {
+	now := r.eng.Now()
+	if now-r.lastRefresh < r.m.P.StatsPeriod {
+		return
+	}
+	r.lastRefresh = now
+	for w := range r.workers {
+		r.tracker.ObserveFinished(w, r.workers[w].finished)
+		r.tracker.ObserveQuanta(w, r.workers[w].curQuanta)
+	}
+}
+
+func (r *tqRun) scheduleNextArrival() {
+	req := r.gen.Next()
+	if req.Arrival > r.cfg.Duration {
+		return
+	}
+	r.eng.At(req.Arrival, func() { r.arrive(req) })
+}
+
+// arrive models the request hitting the NIC RX queue: the dispatcher,
+// a serial server, spends DispatchCost on it and then forwards it.
+func (r *tqRun) arrive(req workload.Request) {
+	r.scheduleNextArrival()
+	now := r.eng.Now()
+	// RSS steers the packet to one of the dispatcher cores (one core
+	// in the paper's configuration; §6 discusses scaling them out).
+	d := 0
+	if len(r.dispBusyUntil) > 1 {
+		d = r.rss.Steer(req.ID, len(r.dispBusyUntil))
+	}
+	r.emit(trace.Event{T: now, Kind: trace.Arrive, Job: req.ID, Class: int(req.Class), Worker: -1})
+	if r.m.P.RXQueue > 0 && r.m.P.DispatchCost > 0 &&
+		r.dispBusyUntil[d]-now > sim.Time(r.m.P.RXQueue)*r.m.P.DispatchCost {
+		// RX ring overflow: the packet is dropped.
+		r.emit(trace.Event{T: now, Kind: trace.Drop, Job: req.ID, Class: int(req.Class), Worker: -1})
+		return
+	}
+	if r.dispBusyUntil[d] < now {
+		r.dispBusyUntil[d] = now
+	}
+	r.dispBusyUntil[d] += r.m.P.DispatchCost
+	j := r.pool.get()
+	j.id = req.ID
+	j.class = req.Class
+	j.arrival = req.Arrival
+	j.base = req.Service
+	j.service = req.Service + sim.Time(float64(req.Service)*r.m.P.ProbeOverhead)
+	j.remain = j.service
+	r.eng.At(r.dispBusyUntil[d], func() { r.dispatch(j) })
+}
+
+// dispatch runs after the dispatcher's processing delay: pick a worker
+// with the blind balancing policy and push onto its dispatch queue.
+func (r *tqRun) dispatch(j *job) {
+	r.refreshView()
+	w := r.bal.Pick(r.tracker)
+	r.tracker.Assign(w)
+	j.worker = w
+	r.emit(trace.Event{T: r.eng.Now(), Kind: trace.Dispatch, Job: j.id, Class: int(j.class), Worker: w})
+	wk := &r.workers[w]
+	wk.waiting.Push(j)
+	if !wk.running {
+		r.kick(w)
+	}
+}
+
+// kick starts the worker's scheduling loop if it has admittable work.
+func (r *tqRun) kick(w int) {
+	wk := &r.workers[w]
+	if wk.running {
+		return
+	}
+	wk.running = true
+	r.step(w)
+}
+
+// step executes one scheduler-coroutine iteration on worker w: admit
+// pending requests onto idle coroutines, then run one quantum of the
+// head coroutine.
+func (r *tqRun) step(w int) {
+	wk := &r.workers[w]
+	// Admission: the scheduler coroutine polls the dispatch queue when
+	// it has idle coroutines (§4). Parsing costs CPU time, which delays
+	// the next quantum.
+	var admitCost sim.Time
+	for wk.idle > 0 {
+		j, ok := wk.waiting.Pop()
+		if !ok {
+			break
+		}
+		wk.idle--
+		wk.pushRunnable(r.m.P.Policy, j)
+		admitCost += r.m.P.ParseCost
+	}
+	j, ok := wk.popRunnable(r.m.P.Policy)
+	if !ok {
+		wk.running = false
+		return
+	}
+	q := r.m.P.Quantum
+	if r.m.P.QuantumForClass != nil {
+		q = r.m.P.QuantumForClass(j.class)
+	}
+	slice := j.remain
+	if !r.m.P.FCFS && slice > q {
+		slice = q
+	}
+	// The quantum runs, then the task yields back to the scheduler
+	// coroutine (one switch costs YieldOverhead).
+	now := r.eng.Now()
+	r.emit(trace.Event{T: now + admitCost, Kind: trace.QuantumStart, Job: j.id, Class: int(j.class), Worker: w})
+	r.eng.After(admitCost+slice+r.m.P.YieldOverhead, func() {
+		r.emit(trace.Event{T: now + admitCost + slice, Kind: trace.QuantumEnd, Job: j.id, Class: int(j.class), Worker: w})
+		if slice >= q && j.remain > q {
+			// A true preemption: the realized interval includes the
+			// switch cost — what Figure 16 compares to the target.
+			r.achieved.Add(float64(slice + r.m.P.YieldOverhead))
+		}
+		j.remain -= slice
+		j.quanta++
+		wk.curQuanta++
+		if j.remain <= 0 {
+			// Completion: the worker replies directly to the client
+			// (no dispatcher involvement) and updates its counters.
+			wk.curQuanta -= j.quanta
+			wk.finished++
+			wk.idle++
+			r.emit(trace.Event{T: r.eng.Now(), Kind: trace.Finish, Job: j.id, Class: int(j.class), Worker: w})
+			r.met.record(j, r.eng.Now())
+			r.pool.put(j)
+		} else {
+			wk.pushRunnable(r.m.P.Policy, j)
+		}
+		r.step(w)
+	})
+}
+
+var _ Machine = (*TQ)(nil)
+
+// Variant constructors for the §5.4 breakdown (Figures 11 and 12).
+
+// NewTQIC returns the TQ-IC variant: forced multitasking driven by the
+// state-of-the-art instruction-counter instrumentation, whose probing
+// inflates service times by ≈60% (§3.1's RocksDB GET measurement).
+func NewTQIC(p TQParams) *TQ {
+	p.ProbeOverhead = 0.60
+	return NewTQ(p).Named("TQ-IC")
+}
+
+// NewTQSlowYield returns the TQ-SLOW-YIELD variant: a 1µs delay added
+// to every coroutine yield.
+func NewTQSlowYield(p TQParams) *TQ {
+	p.YieldOverhead += sim.Micros(1)
+	return NewTQ(p).Named("TQ-SLOW-YIELD")
+}
+
+// NewTQTiming returns the TQ-TIMING variant for the RocksDB workload:
+// inaccurate preemption timing emulated with 1µs quanta for GET (class
+// 0) and 3µs for SCAN (class 1), against the 2µs target.
+func NewTQTiming(p TQParams) *TQ {
+	p.QuantumForClass = func(c workload.Class) sim.Time {
+		if c == 0 {
+			return sim.Micros(1)
+		}
+		return sim.Micros(3)
+	}
+	return NewTQ(p).Named("TQ-TIMING")
+}
+
+// NewTQRand returns the TQ-RAND variant (random load balancing).
+func NewTQRand(p TQParams) *TQ {
+	p.Balancer = BalanceRandom
+	return NewTQ(p).Named("TQ-RAND")
+}
+
+// NewTQPowerTwo returns the TQ-POWER-TWO variant.
+func NewTQPowerTwo(p TQParams) *TQ {
+	p.Balancer = BalancePowerTwo
+	return NewTQ(p).Named("TQ-POWER-TWO")
+}
+
+// NewTQFCFS returns the TQ-FCFS variant (run-to-completion workers).
+func NewTQFCFS(p TQParams) *TQ {
+	p.FCFS = true
+	return NewTQ(p).Named("TQ-FCFS")
+}

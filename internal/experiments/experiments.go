@@ -1,0 +1,507 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver returns labelled series (or rows)
+// that the cmd tools print, the root benchmark suite reports, and
+// EXPERIMENTS.md records. Drivers take a Scale so tests can run cheap
+// versions of the same code paths the full harness uses.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cachesim"
+	"repro/internal/cluster"
+	"repro/internal/instrument"
+	"repro/internal/kvstore"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scale sets simulated run length and sweep resolution.
+type Scale struct {
+	// Duration and Warmup are per-point simulated times.
+	Duration sim.Time
+	Warmup   sim.Time
+	// Points is the number of load points per curve.
+	Points int
+	// SuiteScale scales the instrumentation benchmark programs.
+	SuiteScale float64
+	// Seed makes every driver deterministic.
+	Seed uint64
+}
+
+// Quick is the scale used by tests and the root benchmarks: small but
+// large enough that every qualitative shape survives.
+var Quick = Scale{
+	Duration:   60 * sim.Millisecond,
+	Warmup:     6 * sim.Millisecond,
+	Points:     8,
+	SuiteScale: 0.1,
+	Seed:       1,
+}
+
+// Full approximates the paper's methodology (the paper runs 10s per
+// point and discards the first 10%).
+var Full = Scale{
+	Duration:   400 * sim.Millisecond,
+	Warmup:     40 * sim.Millisecond,
+	Points:     14,
+	SuiteScale: 1,
+	Seed:       1,
+}
+
+// Fig1 reproduces Figure 1: p99.9 slowdown vs load under idealized
+// centralized PS with zero overhead, for quantum sizes 0.5-10µs, on
+// the §2 extreme bimodal workload with 16 cores.
+func Fig1(sc Scale) []stats.Series {
+	w := workload.Section2Bimodal()
+	rates := cluster.RatesUpTo(0.92*w.MaxLoad(16), sc.Points)
+	var out []stats.Series
+	for _, qUs := range []float64{0.5, 1, 2, 5, 10} {
+		m := cluster.NewCentralizedPS(16, sim.Micros(qUs), 0)
+		results := cluster.Sweep(m, w, rates, sc.Duration, sc.Warmup, sc.Seed)
+		out = append(out, cluster.SlowdownSeries(fmt.Sprintf("q=%gus", qUs), "", results))
+	}
+	return out
+}
+
+// Fig2 reproduces Figure 2: the maximum rate sustaining p99.9 slowdown
+// <= 10, as a function of quantum size, for preemption overheads 0,
+// 0.1µs and 1µs.
+func Fig2(sc Scale) []stats.Series {
+	w := workload.Section2Bimodal()
+	rates := cluster.RatesUpTo(w.MaxLoad(16), 2*sc.Points)
+	quanta := []float64{0.5, 1, 2, 3, 5, 10}
+	var out []stats.Series
+	for _, ovUs := range []float64{0, 0.1, 1} {
+		s := stats.Series{Label: fmt.Sprintf("overhead=%gus", ovUs)}
+		for _, qUs := range quanta {
+			m := cluster.NewCentralizedPS(16, sim.Micros(qUs), sim.Micros(ovUs))
+			best := cluster.MaxRateUnder(m, w, rates, sc.Duration, sc.Warmup, sc.Seed,
+				func(r *cluster.Result) bool { return r.P999Slowdown("") <= 10 })
+			s.Append(qUs, best)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig4 reproduces Figure 4: long-job p99.9 slowdown for centralized PS
+// vs two-level scheduling with MSQ or random tie-breaking, all with
+// zero mechanism overheads.
+func Fig4(sc Scale) []stats.Series {
+	w := workload.Section2Bimodal()
+	q := sim.Micros(1)
+	rates := cluster.RatesUpTo(0.9*w.MaxLoad(16), sc.Points)
+	systems := []cluster.Machine{
+		cluster.NewCentralizedPS(16, q, 0),
+		cluster.NewIdealTLS(16, q, cluster.BalanceJSQMSQ),
+		cluster.NewIdealTLS(16, q, cluster.BalanceJSQRandom),
+	}
+	var out []stats.Series
+	for _, m := range systems {
+		results := cluster.Sweep(m, w, rates, sc.Duration, sc.Warmup, sc.Seed)
+		out = append(out, cluster.SlowdownSeries(m.Name(), "Long", results))
+	}
+	return out
+}
+
+// Fig5 reproduces Figure 5: TQ's short-job p99.9 sojourn time vs rate
+// on Extreme Bimodal, for quanta 0.5-10µs. Fig6 is the long-job view.
+func Fig5(sc Scale) []stats.Series { return tqQuantumSweep(sc, "Short") }
+
+// Fig6 reproduces Figure 6 (see Fig5).
+func Fig6(sc Scale) []stats.Series { return tqQuantumSweep(sc, "Long") }
+
+func tqQuantumSweep(sc Scale, class string) []stats.Series {
+	w := workload.ExtremeBimodal()
+	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
+	var out []stats.Series
+	for _, qUs := range []float64{0.5, 1, 2, 5, 10} {
+		p := cluster.NewTQParams()
+		p.Quantum = sim.Micros(qUs)
+		results := cluster.Sweep(cluster.NewTQ(p), w, rates, sc.Duration, sc.Warmup, sc.Seed)
+		out = append(out, cluster.SojournSeries(fmt.Sprintf("q=%gus", qUs), class, results))
+	}
+	return out
+}
+
+// SystemComparison holds one cross-system figure: per class, one
+// latency curve per system.
+type SystemComparison struct {
+	Workload string
+	// PerClass maps class name to the systems' curves.
+	PerClass map[string][]stats.Series
+	// OverallSlowdown, when set, is the pooled p99.9 slowdown curve
+	// per system (reported for TPC-C, Figure 8).
+	OverallSlowdown []stats.Series
+}
+
+// compareSystems sweeps TQ, Shinjuku (at its per-workload quantum) and
+// Caladan (better of its two modes per §5.1) over the workload.
+func compareSystems(sc Scale, w *workload.Workload, shinjukuQ sim.Time, classes []string, slowdown bool) SystemComparison {
+	rates := cluster.RatesUpTo(0.98*w.MaxLoad(16), sc.Points)
+	cmp := SystemComparison{Workload: w.Name, PerClass: map[string][]stats.Series{}}
+
+	tq := cluster.NewTQ(cluster.NewTQParams())
+	tqRes := cluster.Sweep(tq, w, rates, sc.Duration, sc.Warmup, sc.Seed)
+	sj := cluster.NewShinjuku(cluster.NewShinjukuParams(shinjukuQ))
+	sjRes := cluster.Sweep(sj, w, rates, sc.Duration, sc.Warmup, sc.Seed)
+	var calRes []*cluster.Result
+	for _, rate := range rates {
+		calRes = append(calRes, cluster.BestCaladan(cluster.RunConfig{
+			Workload: w,
+			Rate:     rate,
+			Duration: sc.Duration,
+			Warmup:   sc.Warmup,
+			Seed:     sc.Seed,
+		}, classes[0]))
+	}
+	for _, class := range classes {
+		cmp.PerClass[class] = []stats.Series{
+			cluster.LatencySeries("TQ", class, tqRes),
+			cluster.LatencySeries("Shinjuku", class, sjRes),
+			cluster.LatencySeries("Caladan", class, calRes),
+		}
+	}
+	if slowdown {
+		cmp.OverallSlowdown = []stats.Series{
+			cluster.SlowdownSeries("TQ", "", tqRes),
+			cluster.SlowdownSeries("Shinjuku", "", sjRes),
+			cluster.SlowdownSeries("Caladan", "", calRes),
+		}
+	}
+	return cmp
+}
+
+// Fig7 reproduces Figure 7: TQ vs Shinjuku vs Caladan on Extreme and
+// High Bimodal (Shinjuku at its 5µs sweet spot), short and long
+// classes.
+func Fig7(sc Scale) []SystemComparison {
+	return []SystemComparison{
+		compareSystems(sc, workload.ExtremeBimodal(), sim.Micros(5), []string{"Short", "Long"}, false),
+		compareSystems(sc, workload.HighBimodal(), sim.Micros(5), []string{"Short", "Long"}, false),
+	}
+}
+
+// Fig8 reproduces Figure 8: TPC-C with Shinjuku at 10µs, per-class
+// tails for the shortest and longest transactions plus the overall
+// slowdown.
+func Fig8(sc Scale) SystemComparison {
+	return compareSystems(sc, workload.TPCC(), sim.Micros(10), []string{"Payment", "StockLevel"}, true)
+}
+
+// Fig9 reproduces Figure 9: Exp(1) with Shinjuku at 10µs.
+func Fig9(sc Scale) SystemComparison {
+	return compareSystems(sc, workload.Exp1(), sim.Micros(10), []string{"Exp"}, false)
+}
+
+// Fig10 reproduces Figure 10: RocksDB at 0.5% and 50% SCAN with
+// Shinjuku at 15µs.
+func Fig10(sc Scale) []SystemComparison {
+	return []SystemComparison{
+		compareSystems(sc, workload.RocksDB(0.005), sim.Micros(15), []string{"GET", "SCAN"}, false),
+		compareSystems(sc, workload.RocksDB(0.5), sim.Micros(15), []string{"GET", "SCAN"}, false),
+	}
+}
+
+// Fig11 reproduces Figure 11: TQ vs its forced-multitasking ablations
+// (TQ-IC, TQ-SLOW-YIELD, TQ-TIMING) on RocksDB 0.5% SCAN; GET curves.
+func Fig11(sc Scale) []stats.Series {
+	return tqVariantSweep(sc, []*cluster.TQ{
+		cluster.NewTQ(cluster.NewTQParams()),
+		cluster.NewTQIC(cluster.NewTQParams()),
+		cluster.NewTQSlowYield(cluster.NewTQParams()),
+		cluster.NewTQTiming(cluster.NewTQParams()),
+	})
+}
+
+// Fig12 reproduces Figure 12: TQ vs its two-level-scheduling ablations
+// (TQ-RAND, TQ-POWER-TWO, TQ-FCFS) on RocksDB 0.5% SCAN; GET curves.
+func Fig12(sc Scale) []stats.Series {
+	return tqVariantSweep(sc, []*cluster.TQ{
+		cluster.NewTQ(cluster.NewTQParams()),
+		cluster.NewTQRand(cluster.NewTQParams()),
+		cluster.NewTQPowerTwo(cluster.NewTQParams()),
+		cluster.NewTQFCFS(cluster.NewTQParams()),
+	})
+}
+
+func tqVariantSweep(sc Scale, systems []*cluster.TQ) []stats.Series {
+	w := workload.RocksDB(0.005)
+	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
+	var out []stats.Series
+	for _, m := range systems {
+		results := cluster.Sweep(m, w, rates, sc.Duration, sc.Warmup, sc.Seed)
+		out = append(out, cluster.SojournSeries(m.Name(), "GET", results))
+	}
+	return out
+}
+
+// Fig13 reproduces Figure 13: TLS pointer-chase access latency vs
+// array size for quanta 0.5, 2 and 16µs.
+func Fig13(accesses int) []stats.Series {
+	var out []stats.Series
+	for _, qNs := range []float64{500, 2000, 16000} {
+		s := stats.Series{Label: fmt.Sprintf("TLS-%gus", qNs/1000)}
+		for _, size := range cachesim.ArraySizes() {
+			cfg := cachesim.DefaultChaseConfig(cachesim.TLS, qNs, size)
+			if accesses > 0 {
+				cfg.WarmupAccesses = accesses / 3
+				cfg.MeasuredAccesses = accesses
+			}
+			res := cachesim.RunChase(cfg)
+			s.Append(float64(size), res.AvgLatencyNs)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig14 reproduces Figure 14: TLS vs CT access latency at 2µs quanta.
+func Fig14(accesses int) []stats.Series {
+	var out []stats.Series
+	for _, fw := range []cachesim.Framework{cachesim.TLS, cachesim.CT} {
+		s := stats.Series{Label: fw.String() + "-2us"}
+		for _, size := range cachesim.ArraySizes() {
+			cfg := cachesim.DefaultChaseConfig(fw, 2000, size)
+			if accesses > 0 {
+				cfg.WarmupAccesses = accesses / 3
+				cfg.MeasuredAccesses = accesses
+			}
+			res := cachesim.RunChase(cfg)
+			s.Append(float64(size), res.AvgLatencyNs)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig15Result holds the reuse-distance histograms of the KV store's
+// GET and SCAN operations (distances in bytes: distinct lines × 64).
+type Fig15Result struct {
+	GET, SCAN *stats.Histogram
+	// FracAbove8KB per operation — the statistic §5.5.2 quotes (3.7%
+	// and 4.5% in the paper).
+	GETAbove8KB, SCANAbove8KB float64
+}
+
+// Fig15 reproduces Figure 15 by tracing the in-memory KV store
+// substitute for RocksDB: load keys, then measure reuse distances of
+// GET and SCAN address streams.
+func Fig15(keys, gets, scans int, seed uint64) Fig15Result {
+	makeHist := func() *stats.Histogram { return stats.NewHistogram(64, 2, 22) }
+	res := Fig15Result{GET: makeHist(), SCAN: makeHist()}
+
+	var tracker *cachesim.ReuseTracker
+	var hist *stats.Histogram
+	store := kvstore.New(kvstore.Config{
+		Seed: seed,
+		Trace: func(addr uint64, size int) {
+			if tracker == nil {
+				return
+			}
+			for off := 0; off < size; off += 64 {
+				d := tracker.Access(addr + uint64(off))
+				if d >= 0 {
+					hist.Add(float64(d) * 64)
+				}
+			}
+		},
+	})
+	key := func(i int) []byte { return []byte(fmt.Sprintf("user%09d", i)) }
+	for i := 0; i < keys; i++ {
+		store.Put(key(i), []byte(fmt.Sprintf("value-%09d-xxxxxxxxxxxxxxxx", i)))
+	}
+	store.Flush()
+
+	r := rng.New(seed)
+	// Each operation also touches its job-local working set — request
+	// parse, stack frames, response formatting — which the paper's Pin
+	// tool traces but the store's structural trace hook cannot see.
+	// These accesses hit the same few KB every operation (tiny reuse
+	// distances), exactly the hot fraction that makes real GET/SCAN
+	// jobs insensitive to quantum changes.
+	const scratchBase = uint64(1) << 40
+	const scratchLines = 48 // ≈3KB of per-job hot data
+	touchScratch := func() {
+		if tracker == nil {
+			return
+		}
+		for l := 0; l < scratchLines; l++ {
+			d := tracker.Access(scratchBase + uint64(l)*64)
+			if d >= 0 {
+				hist.Add(float64(d) * 64)
+			}
+		}
+	}
+	// GET phase: each operation is one job; intra-job locality is what
+	// the figure studies, so the tracker persists across the phase
+	// (inter-job reuse is part of the address stream, as with MICA).
+	// Scratch is touched twice per operation — request parsing before
+	// the lookup, response formatting after — as the real handler
+	// does.
+	tracker, hist = cachesim.NewReuseTracker(), res.GET
+	for i := 0; i < gets; i++ {
+		touchScratch()
+		store.Get(key(r.Intn(keys)))
+		touchScratch()
+	}
+	tracker, hist = cachesim.NewReuseTracker(), res.SCAN
+	for i := 0; i < scans; i++ {
+		touchScratch()
+		store.Scan(key(r.Intn(keys)), 400, func(_, _ []byte) bool {
+			touchScratch()
+			return true
+		})
+		touchScratch()
+	}
+	tracker = nil
+
+	res.GETAbove8KB = res.GET.FractionAbove(8192)
+	res.SCANAbove8KB = res.SCAN.FractionAbove(8192)
+	return res
+}
+
+// Fig16 reproduces Figure 16: the maximum number of worker cores whose
+// quanta the system can schedule within 10% of the target, for target
+// quanta 0.5-5µs, comparing Shinjuku's centralized preemption against
+// TQ's self-scheduling workers.
+func Fig16(sc Scale) []stats.Series {
+	w := workload.Fixed("long", sim.Millisecond)
+	quanta := []float64{0.5, 1, 2, 3, 5}
+	maxCores := 16
+
+	measure := func(qUs float64, cores int, shinjuku bool) (avg float64, n int) {
+		cfg := cluster.RunConfig{
+			Workload: w,
+			Rate:     0.6 * w.MaxLoad(cores),
+			Duration: sc.Duration,
+			Warmup:   sc.Warmup,
+			Seed:     sc.Seed,
+		}
+		var achieved *stats.Sample
+		if shinjuku {
+			p := cluster.NewShinjukuParams(sim.Micros(qUs))
+			p.Workers = cores
+			_, achieved = cluster.NewShinjuku(p).RunMeasured(cfg)
+		} else {
+			p := cluster.NewTQParams()
+			p.Quantum = sim.Micros(qUs)
+			p.Workers = cores
+			_, achieved = cluster.NewTQ(p).RunMeasured(cfg)
+		}
+		return achieved.Mean(), achieved.Len()
+	}
+
+	series := func(label string, shinjuku bool) stats.Series {
+		s := stats.Series{Label: label}
+		for _, qUs := range quanta {
+			target := float64(sim.Micros(qUs))
+			best := 0
+			for cores := 1; cores <= maxCores; cores++ {
+				avg, n := measure(qUs, cores, shinjuku)
+				if n == 0 || avg > 1.1*target {
+					break
+				}
+				best = cores
+			}
+			s.Append(qUs, float64(best))
+		}
+		return s
+	}
+	return []stats.Series{series("Shinjuku", true), series("TQ", false)}
+}
+
+// DispatcherThroughput reproduces the §6 observation: the TQ
+// dispatcher, doing only load balancing, sustains far more requests
+// per second than a centralized scheduling core. It offers tiny jobs
+// at the given rate to many workers and reports completions/second.
+func DispatcherThroughput(sc Scale, rate float64) map[string]float64 {
+	w := workload.Fixed("tiny", 100*sim.Nanosecond)
+	cfg := cluster.RunConfig{
+		Workload: w,
+		Rate:     rate,
+		Duration: sc.Duration,
+		Warmup:   sc.Warmup,
+		Seed:     sc.Seed,
+	}
+	tp := cluster.NewTQParams()
+	tp.Workers = 64 // ample workers: isolate the dispatcher
+	tp.Coroutines = 16
+	sp := cluster.NewShinjukuParams(sim.Micros(5))
+	sp.Workers = 64
+	return map[string]float64{
+		"TQ":       cluster.NewTQ(tp).Run(cfg).Throughput,
+		"Shinjuku": cluster.NewShinjuku(sp).Run(cfg).Throughput,
+	}
+}
+
+// Table3 runs the instrumentation comparison (see internal/instrument).
+func Table3(sc Scale) []instrument.Table3Row {
+	return instrument.Table3(sc.SuiteScale, sc.Seed)
+}
+
+// ExtensionComparison evaluates the discussion-section extensions and
+// related-work baselines on Extreme Bimodal: TQ's default PS workers,
+// LAS workers (§3.1's dynamic-quantum use case), Concord-style
+// cache-line preemption, and LibPreemptible-style user interrupts
+// (§7). It returns one short-job p99.9 sojourn curve per system.
+func ExtensionComparison(sc Scale) []stats.Series {
+	w := workload.ExtremeBimodal()
+	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
+	systems := []cluster.Machine{
+		cluster.NewTQ(cluster.NewTQParams()),
+		cluster.NewTQLAS(cluster.NewTQParams()),
+		cluster.NewConcord(sim.Micros(5)),
+		cluster.NewLibPreemptible(cluster.NewTQParams()),
+	}
+	var out []stats.Series
+	for _, m := range systems {
+		results := cluster.Sweep(m, w, rates, sc.Duration, sc.Warmup, sc.Seed)
+		out = append(out, cluster.SojournSeries(m.Name(), "Short", results))
+	}
+	return out
+}
+
+// MultiDispatcherScaling measures sustained throughput on tiny jobs
+// with 1, 2 and 4 dispatcher cores at the given offered load — the §6
+// scale-out discussion made concrete.
+func MultiDispatcherScaling(sc Scale, offered float64) []float64 {
+	w := workload.Fixed("tiny", 100*sim.Nanosecond)
+	var out []float64
+	for _, d := range []int{1, 2, 4} {
+		p := cluster.NewTQParams()
+		p.Workers = 64
+		p.Coroutines = 16
+		p.Dispatchers = d
+		res := cluster.NewTQ(p).Run(cluster.RunConfig{
+			Workload: w,
+			Rate:     offered,
+			Duration: sc.Duration,
+			Warmup:   sc.Warmup,
+			Seed:     sc.Seed,
+		})
+		out = append(out, res.Throughput)
+	}
+	return out
+}
+
+// CoroutineCountAblation sweeps the number of task coroutines per
+// worker (§5.1: "similar performance with more than four task
+// coroutines; we use eight") and returns, per count, the maximum rate
+// at which RocksDB-mix GETs stay under a 50µs p99.9 sojourn.
+func CoroutineCountAblation(sc Scale, counts []int) []float64 {
+	w := workload.RocksDB(0.005)
+	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
+	out := make([]float64, 0, len(counts))
+	for _, coros := range counts {
+		p := cluster.NewTQParams()
+		p.Coroutines = coros
+		best := cluster.MaxRateUnder(cluster.NewTQ(p), w, rates, sc.Duration, sc.Warmup, sc.Seed,
+			func(r *cluster.Result) bool { return r.P999SojournUs("GET") <= 50 })
+		out = append(out, best)
+	}
+	return out
+}

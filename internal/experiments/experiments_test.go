@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/instrument"
+	"repro/internal/sim"
+)
+
+// tiny is an even cheaper scale than Quick for per-driver smoke tests;
+// shape assertions use Quick where they need resolution.
+var tiny = Scale{
+	Duration:   25 * sim.Millisecond,
+	Warmup:     3 * sim.Millisecond,
+	Points:     5,
+	SuiteScale: 0.05,
+	Seed:       1,
+}
+
+func TestFig1SmallerQuantaLowerSlowdown(t *testing.T) {
+	series := Fig1(Quick)
+	if len(series) != 5 {
+		t.Fatalf("Fig1 returned %d curves, want 5", len(series))
+	}
+	// At the highest common load point, 0.5µs quanta must beat 10µs.
+	small := series[0] // q=0.5
+	large := series[4] // q=10
+	last := len(small.Y) - 1
+	if small.Y[last] >= large.Y[last] {
+		t.Fatalf("at max load, q=0.5µs slowdown %v not below q=10µs %v",
+			small.Y[last], large.Y[last])
+	}
+}
+
+func TestFig2OverheadShapesCapacity(t *testing.T) {
+	series := Fig2(Quick)
+	if len(series) != 3 {
+		t.Fatalf("Fig2 returned %d curves, want 3", len(series))
+	}
+	free, heavy := series[0], series[2] // 0 and 1µs overhead
+	// With zero overhead, the smallest quantum must sustain at least
+	// as much load as the largest.
+	if free.Y[0] < free.Y[len(free.Y)-1]*0.95 {
+		t.Errorf("zero overhead: 0.5µs quanta capacity %v below 10µs %v",
+			free.Y[0], free.Y[len(free.Y)-1])
+	}
+	// With 1µs overhead, sub-µs quanta must collapse relative to the
+	// zero-overhead case.
+	if heavy.Y[0] >= free.Y[0]*0.7 {
+		t.Errorf("1µs overhead did not collapse 0.5µs-quanta capacity: %v vs %v",
+			heavy.Y[0], free.Y[0])
+	}
+}
+
+func TestFig4MSQBeatsRandomTieBreak(t *testing.T) {
+	series := Fig4(Quick)
+	if len(series) != 3 {
+		t.Fatalf("Fig4 returned %d curves, want 3", len(series))
+	}
+	msq, rnd := series[1], series[2]
+	// Compare at a medium-load point (where the paper's effect lives):
+	// MSQ's long-job slowdown must not exceed random tie-breaking's,
+	// summed over the top half of the sweep.
+	var msqSum, rndSum float64
+	for i := len(msq.Y) / 2; i < len(msq.Y); i++ {
+		msqSum += msq.Y[i]
+		rndSum += rnd.Y[i]
+	}
+	if msqSum >= rndSum {
+		t.Fatalf("MSQ tie-breaking (%v) not better than random (%v) for long jobs",
+			msqSum, rndSum)
+	}
+}
+
+func TestFig5SmallQuantaHelpShortJobs(t *testing.T) {
+	series := Fig5(Quick)
+	if len(series) != 5 {
+		t.Fatalf("Fig5 returned %d curves", len(series))
+	}
+	// At a high-load point, 1µs quanta give shorter short-job tails
+	// than 10µs quanta.
+	q1, q10 := series[1], series[4]
+	i := len(q1.Y) - 2
+	if q1.Y[i] >= q10.Y[i] {
+		t.Fatalf("short jobs: q=1µs p999 %v not below q=10µs %v at high load", q1.Y[i], q10.Y[i])
+	}
+}
+
+func TestFig7TQSustainsHighestLoadUnderSLO(t *testing.T) {
+	cmps := Fig7(Quick)
+	if len(cmps) != 2 {
+		t.Fatalf("Fig7 returned %d workloads", len(cmps))
+	}
+	for _, cmp := range cmps {
+		curves := cmp.PerClass["Short"]
+		tq := maxUnderSLOXY(curves[0].X, curves[0].Y, 50)
+		sj := maxUnderSLOXY(curves[1].X, curves[1].Y, 50)
+		cal := maxUnderSLOXY(curves[2].X, curves[2].Y, 50)
+		if tq <= sj || tq <= cal {
+			t.Errorf("%s: TQ max rate %v under 50µs SLO not above Shinjuku %v / Caladan %v",
+				cmp.Workload, tq, sj, cal)
+		}
+	}
+}
+
+func TestFig11ICVariantLosesThroughput(t *testing.T) {
+	series := Fig11(Quick)
+	if len(series) != 4 {
+		t.Fatalf("Fig11 returned %d curves", len(series))
+	}
+	tq, ic := series[0], series[1]
+	tqMax := maxUnderSLOXY(tq.X, tq.Y, 50)
+	icMax := maxUnderSLOXY(ic.X, ic.Y, 50)
+	if icMax >= tqMax {
+		t.Fatalf("TQ-IC sustained %v under 50µs GET SLO, TQ only %v", icMax, tqMax)
+	}
+}
+
+func TestFig12FCFSVariantLosesThroughput(t *testing.T) {
+	series := Fig12(Quick)
+	tq, fcfs := series[0], series[3]
+	tqMax := maxUnderSLOXY(tq.X, tq.Y, 50)
+	fcfsMax := maxUnderSLOXY(fcfs.X, fcfs.Y, 50)
+	if fcfsMax >= tqMax {
+		t.Fatalf("TQ-FCFS sustained %v under 50µs GET SLO, TQ only %v", fcfsMax, tqMax)
+	}
+}
+
+func maxUnderSLOXY(x, y []float64, slo float64) float64 {
+	best := 0.0
+	for i := range x {
+		if y[i] > slo || y[i] == 0 {
+			break
+		}
+		best = x[i]
+	}
+	return best
+}
+
+func TestFig13Shapes(t *testing.T) {
+	series := Fig13(120_000)
+	if len(series) != 3 {
+		t.Fatalf("Fig13 returned %d curves", len(series))
+	}
+	// Latency grows with array size for every quantum.
+	for _, s := range series {
+		if s.Y[0] >= s.Y[len(s.Y)-1] {
+			t.Errorf("%s: latency did not grow with array size (%v .. %v)",
+				s.Label, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestFig14CTAboveTLS(t *testing.T) {
+	series := Fig14(120_000)
+	tls, ct := series[0], series[1]
+	// Across mid-size arrays, CT must be at or above TLS.
+	var tlsSum, ctSum float64
+	for i := 3; i <= 8; i++ { // 8KB..256KB
+		tlsSum += tls.Y[i]
+		ctSum += ct.Y[i]
+	}
+	if ctSum <= tlsSum {
+		t.Fatalf("CT mid-size latency (%v) not above TLS (%v)", ctSum, tlsSum)
+	}
+}
+
+func TestFig15MostReuseDistancesSmall(t *testing.T) {
+	res := Fig15(3000, 1500, 40, 1)
+	if res.GET.Total() == 0 || res.SCAN.Total() == 0 {
+		t.Fatal("no reuse distances recorded")
+	}
+	// The paper: only a few percent of accesses have reuse distances
+	// above 8KB (3.7% GET, 4.5% SCAN). Our substitute store should
+	// land in the same regime.
+	if res.GETAbove8KB > 0.15 {
+		t.Errorf("GET accesses above 8KB reuse distance: %v", res.GETAbove8KB)
+	}
+	if res.SCANAbove8KB > 0.15 {
+		t.Errorf("SCAN accesses above 8KB reuse distance: %v", res.SCANAbove8KB)
+	}
+}
+
+func TestFig16TQScalesShinjukuDoesNot(t *testing.T) {
+	series := Fig16(tiny)
+	sj, tq := series[0], series[1]
+	// TQ holds 16 cores at every quantum.
+	for i, y := range tq.Y {
+		if y != 16 {
+			t.Fatalf("TQ supported %v cores at q=%vµs, want 16", y, tq.X[i])
+		}
+	}
+	// Shinjuku supports 16 at 5µs but collapses at 0.5µs.
+	last := len(sj.Y) - 1
+	if sj.Y[last] < 14 {
+		t.Errorf("Shinjuku at 5µs supports only %v cores", sj.Y[last])
+	}
+	if sj.Y[0] > 8 {
+		t.Errorf("Shinjuku at 0.5µs supports %v cores, expected a collapse", sj.Y[0])
+	}
+	if sj.Y[0] >= sj.Y[last] {
+		t.Errorf("Shinjuku curve not increasing with quantum: %v", sj.Y)
+	}
+}
+
+func TestDispatcherThroughputGap(t *testing.T) {
+	// Offer 8Mrps of tiny jobs: TQ's dispatcher keeps up better than
+	// the centralized one (§6: 14Mrps vs ~5Mrps).
+	out := DispatcherThroughput(tiny, 8e6)
+	if out["TQ"] <= out["Shinjuku"]*1.5 {
+		t.Fatalf("TQ dispatcher throughput %v not well above Shinjuku %v",
+			out["TQ"], out["Shinjuku"])
+	}
+}
+
+func TestExtensionComparisonShapes(t *testing.T) {
+	series := ExtensionComparison(tiny)
+	if len(series) != 4 {
+		t.Fatalf("ExtensionComparison returned %d curves", len(series))
+	}
+	labels := map[string]bool{}
+	for _, s := range series {
+		labels[s.Label] = true
+		if len(s.Y) == 0 {
+			t.Fatalf("curve %s empty", s.Label)
+		}
+	}
+	for _, want := range []string{"TQ", "TQ-LAS", "Concord", "LibPreemptible"} {
+		if !labels[want] {
+			t.Fatalf("missing curve %q (have %v)", want, labels)
+		}
+	}
+	// LibPreemptible's 1µs-scale preemption cost must cap it below TQ
+	// under a tight short-job SLO.
+	tq := maxUnderSLOXY(series[0].X, series[0].Y, 50)
+	lp := maxUnderSLOXY(series[3].X, series[3].Y, 50)
+	if lp >= tq {
+		t.Fatalf("LibPreemptible sustained %v, TQ %v under 50µs SLO", lp, tq)
+	}
+}
+
+func TestMultiDispatcherScalingMonotone(t *testing.T) {
+	out := MultiDispatcherScaling(tiny, 40e6)
+	if len(out) != 3 {
+		t.Fatalf("got %d points", len(out))
+	}
+	if !(out[1] > 1.5*out[0]) {
+		t.Fatalf("2 dispatchers (%v) not >1.5x one (%v)", out[1], out[0])
+	}
+	if !(out[2] > out[1]) {
+		t.Fatalf("4 dispatchers (%v) not above 2 (%v)", out[2], out[1])
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	rows := Table3(tiny)
+	if len(rows) != 27 {
+		t.Fatalf("Table3 returned %d rows", len(rows))
+	}
+	means := instrument.Means(rows)
+	if means[instrument.TechTQ].OverheadPct >= means[instrument.TechCI].OverheadPct {
+		t.Fatal("TQ mean overhead not below CI")
+	}
+}

@@ -1,0 +1,28 @@
+package instrument_test
+
+import (
+	"fmt"
+
+	"repro/internal/instrument"
+	"repro/internal/ir"
+)
+
+// Example instruments a counted loop with TQ's pass and the
+// instruction-counter baseline and compares probe placement.
+func Example() {
+	b := ir.NewFunc("sum", 8, 256)
+	b.CountedLoop(1, 2, 3, 100000, func() {
+		b.Load(4, 1, ir.Hot)
+		b.Add(5, 5, 4)
+	})
+	b.Ret()
+	f := b.Build()
+
+	tq := instrument.TQPass(f, instrument.DefaultBound)
+	ci := instrument.CIPass(f)
+	fmt.Printf("TQ probes: %d\n", tq.NumProbes())
+	fmt.Printf("CI probes: %d\n", ci.NumProbes())
+	// Output:
+	// TQ probes: 1
+	// CI probes: 3
+}

@@ -1,0 +1,229 @@
+package instrument
+
+import (
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/rng"
+)
+
+// yieldRecorder accumulates realized yield intervals so the harness can
+// compute the timing error against the target quantum.
+type yieldRecorder struct {
+	quantum    int64 // cycles
+	lastYield  int64 // cycle stamp of the previous yield
+	intervals  []int64
+	yieldCost  int64
+	totalYield int64
+}
+
+// yield records a yield at cycle now and returns the cycles the switch
+// itself consumes.
+func (y *yieldRecorder) yield(now int64) int64 {
+	y.intervals = append(y.intervals, now-y.lastYield)
+	y.lastYield = now + y.yieldCost
+	y.totalYield++
+	return y.yieldCost
+}
+
+// maeNs is the mean absolute error of the yield intervals against the
+// quantum, in nanoseconds.
+func (y *yieldRecorder) maeNs(m ir.CostModel) float64 {
+	if len(y.intervals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, iv := range y.intervals {
+		sum += math.Abs(float64(iv - y.quantum))
+	}
+	return m.CyclesToNs(int64(sum / float64(len(y.intervals))))
+}
+
+// tqHook implements the runtime semantics of TQ probes: read the
+// physical clock (full probes, or gated ones when their counter
+// triggers) and yield if the quantum elapsed.
+type tqHook struct {
+	model ir.CostModel
+	rec   yieldRecorder
+	// gate counts executions per gated probe ID.
+	gate map[int]int64
+}
+
+func newTQHook(model ir.CostModel, quantumCycles int64) *tqHook {
+	return &tqHook{
+		model: model,
+		rec:   yieldRecorder{quantum: quantumCycles, yieldCost: model.Yield},
+		gate:  map[int]int64{},
+	}
+}
+
+// OnProbe implements ir.ProbeHook.
+func (h *tqHook) OnProbe(p *ir.Probe, now, _ int64) int64 {
+	var cost int64
+	switch p.Kind {
+	case ir.ProbeTQ:
+		cost = h.model.Rdtsc
+	case ir.ProbeTQGated:
+		// Maintain an iteration counter: inc + compare.
+		cost = h.model.ProbeGated
+		h.gate[p.ID]++
+		if h.gate[p.ID]%maxInt64(p.Every, 1) != 0 {
+			return cost
+		}
+		cost += h.model.Rdtsc
+	case ir.ProbeTQInduction:
+		// Reuse the loop's induction variable: only a masked compare.
+		cost = h.model.ProbeInduction
+		h.gate[p.ID]++
+		if h.gate[p.ID]%maxInt64(p.Every, 1) != 0 {
+			return cost
+		}
+		cost += h.model.Rdtsc
+	default:
+		panic("instrument: IC probe reached TQ hook")
+	}
+	if now-h.rec.lastYield >= h.rec.quantum {
+		cost += h.rec.yield(now)
+	}
+	return cost
+}
+
+// icHook implements the instruction-counter baseline: every probe
+// increments the counter; when it crosses the translated threshold the
+// task yields (CI) or first consults the physical clock (CI-Cycles).
+type icHook struct {
+	model   ir.CostModel
+	rec     yieldRecorder
+	counter int64
+	// targetInstrs is the quantum translated into instruction counts
+	// through the profiled cycles-per-instruction ratio — the lossy
+	// translation that makes CI inaccurate (§3.1).
+	targetInstrs int64
+	cycles       bool // CI-Cycles behaviour
+}
+
+// ProfiledCPI is the cycles-per-instruction ratio the CI baseline uses
+// to translate the cycle quantum into an instruction-count threshold.
+// Real programs deviate from it in both directions — compute-dense code
+// runs below it (CI yields early), pointer-chasing code far above it
+// (CI yields late) — which is exactly the source of CI's timing error;
+// the CI-Cycles hybrid can repair the early side but not the late one.
+const ProfiledCPI = 2.6
+
+func newICHook(model ir.CostModel, quantumCycles int64, cycles bool) *icHook {
+	return &icHook{
+		model:        model,
+		rec:          yieldRecorder{quantum: quantumCycles, yieldCost: model.Yield},
+		targetInstrs: int64(float64(quantumCycles) / ProfiledCPI),
+		cycles:       cycles,
+	}
+}
+
+// OnProbe implements ir.ProbeHook.
+func (h *icHook) OnProbe(p *ir.Probe, now, _ int64) int64 {
+	cost := h.model.ProbeALU // counter add + compare + branch
+	h.counter += p.Inc
+	if h.counter < h.targetInstrs {
+		return cost
+	}
+	if h.cycles {
+		cost += h.model.Rdtsc
+		if now-h.rec.lastYield < h.rec.quantum {
+			// The clock disagrees: retry soon by keeping the counter
+			// near the threshold.
+			h.counter = h.targetInstrs * 7 / 8
+			return cost
+		}
+	}
+	h.counter = 0
+	cost += h.rec.yield(now)
+	return cost
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Technique names.
+const (
+	TechTQ       = "TQ"
+	TechCI       = "CI"
+	TechCICycles = "CI-Cycles"
+)
+
+// Measurement is one row cell of Table 3 for one (program, technique)
+// pair.
+type Measurement struct {
+	Program   string
+	Technique string
+	// OverheadPct is the probing overhead: instrumented cycles over
+	// uninstrumented cycles, minus one, in percent.
+	OverheadPct float64
+	// MAEns is the mean absolute yield-timing error in nanoseconds.
+	MAEns float64
+	// StaticProbes is the number of probe instructions inserted.
+	StaticProbes int
+	// DynamicProbes is the number of probe executions.
+	DynamicProbes int64
+	// Yields is the number of yields taken.
+	Yields int64
+	// BaseCycles and InstrCycles are the raw run times.
+	BaseCycles, InstrCycles int64
+}
+
+// maxSteps bounds benchmark executions; suite programs run far below
+// this.
+const maxSteps = 200_000_000
+
+// MeasureTQ runs f uninstrumented and TQ-instrumented with the given
+// path bound and quantum, returning the comparison.
+func MeasureTQ(f *ir.Func, bound int64, quantumNs float64, model ir.CostModel, seed uint64) Measurement {
+	g := TQPass(f, bound)
+	hook := newTQHook(model, model.NsToCycles(quantumNs))
+	return measure(f, g, TechTQ, hook, &hook.rec, model, seed)
+}
+
+// MeasureCI runs f uninstrumented and CI-instrumented.
+func MeasureCI(f *ir.Func, quantumNs float64, model ir.CostModel, seed uint64) Measurement {
+	g := CIPass(f)
+	hook := newICHook(model, model.NsToCycles(quantumNs), false)
+	return measure(f, g, TechCI, hook, &hook.rec, model, seed)
+}
+
+// MeasureCICycles runs f uninstrumented and CI-Cycles-instrumented.
+func MeasureCICycles(f *ir.Func, quantumNs float64, model ir.CostModel, seed uint64) Measurement {
+	g := CICyclesPass(f)
+	hook := newICHook(model, model.NsToCycles(quantumNs), true)
+	return measure(f, g, TechCICycles, hook, &hook.rec, model, seed)
+}
+
+func measure(base, instr *ir.Func, tech string, hook ir.ProbeHook, rec *yieldRecorder, model ir.CostModel, seed uint64) Measurement {
+	baseRes, err := ir.Exec(base, model, rng.New(seed), nil, maxSteps)
+	if err != nil {
+		panic("instrument: base run failed: " + err.Error())
+	}
+	instRes, err := ir.Exec(instr, model, rng.New(seed), hook, maxSteps)
+	if err != nil {
+		panic("instrument: instrumented run failed: " + err.Error())
+	}
+	m := Measurement{
+		Program:       base.Name,
+		Technique:     tech,
+		StaticProbes:  instr.NumProbes(),
+		DynamicProbes: instRes.Probes,
+		Yields:        rec.totalYield,
+		BaseCycles:    baseRes.Cycles,
+		InstrCycles:   instRes.Cycles,
+		MAEns:         rec.maeNs(model),
+	}
+	// Overhead excludes yield costs: the paper's probing overhead is
+	// the instrumentation tax, and yields are common to all
+	// techniques... except the techniques yield different numbers of
+	// times; subtracting each run's own yield time isolates probing.
+	instrOnly := instRes.Cycles - rec.totalYield*rec.yieldCost
+	m.OverheadPct = 100 * (float64(instrOnly)/float64(baseRes.Cycles) - 1)
+	return m
+}

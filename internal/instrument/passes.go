@@ -1,0 +1,338 @@
+// Package instrument implements the compiler instrumentation study of
+// Tiny Quanta (§3.1, §5.6): three probe-insertion passes over the IR of
+// internal/ir and the measurement harness that compares them the way
+// Table 3 does.
+//
+//   - TQPass: the paper's pass. Sparse physical-clock probes placed so
+//     that the longest uninstrumented execution path stays under a
+//     bound; loops get iteration-counter-gated probes, with the
+//     induction-variable reuse and self-loop cloning optimizations.
+//   - CIPass: the instruction-counter baseline (Compiler Interrupt
+//     [8]): a counter increment in (almost) every basic block, merged
+//     along single-entry chains, with a threshold check.
+//   - CICyclesPass: the hybrid — CI placement, but a triggered check
+//     reads the physical clock before yielding.
+package instrument
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// CallWeight is the instruction-count surcharge for a call to an
+// uninstrumented external function: the compiler cannot see inside it,
+// so it budgets a fixed cost (§3.1).
+const CallWeight = 20
+
+// instrWeight is an instruction's contribution to path-length bounds.
+func instrWeight(in *ir.Instr) int64 {
+	switch in.Op {
+	case ir.OpProbe:
+		return 0
+	case ir.OpCall:
+		s := in.Imm
+		if s < 1 {
+			s = 1
+		}
+		return CallWeight * s
+	default:
+		return 1
+	}
+}
+
+func blockWeight(b *ir.Block) int64 {
+	var w int64
+	for i := range b.Code {
+		w += instrWeight(&b.Code[i])
+	}
+	return w
+}
+
+// TQPass inserts TQ's physical-clock probes into a copy of f so that no
+// execution path runs more than bound instruction-weights without
+// reaching a probe. Probe IDs are assigned densely from 0.
+func TQPass(f *ir.Func, bound int64) *ir.Func {
+	if bound < 2 {
+		panic("instrument: TQPass bound must be >= 2")
+	}
+	g := f.Clone()
+	if g.NonReentrant {
+		// §6: yielding inside a non-reentrant function is unsafe — a
+		// concurrent job on the same core could re-enter it mid-state.
+		// Such functions stay probe-free.
+		return g
+	}
+	nextID := 0
+	newProbe := func(p ir.Probe) ir.Instr {
+		p.ID = nextID
+		nextID++
+		cp := p
+		return ir.Instr{Op: ir.OpProbe, Probe: &cp}
+	}
+
+	cfg := ir.BuildCFG(g)
+	// Instrument loops innermost-first so self-loop cloning sees
+	// original single-block bodies.
+	loops := append([]*ir.Loop(nil), cfg.Loops...)
+	sort.Slice(loops, func(i, j int) bool { return len(loops[i].Blocks) < len(loops[j].Blocks) })
+	cloned := false
+	for _, l := range loops {
+		// Per-iteration uninstrumented work is bounded by the loop's
+		// total block weight; gate the clock check so that Every
+		// iterations of uninstrumented work stay within the bound
+		// (§3.1: target iterations = bound / longest uninstrumented
+		// path in the body).
+		var bodyW int64
+		for b := range l.Blocks {
+			bodyW += blockWeight(g.Blocks[b])
+		}
+		if bodyW == 0 {
+			bodyW = 1
+		}
+		every := bound / bodyW
+		if every < 1 {
+			every = 1
+		}
+
+		if len(l.Blocks) == 1 && trySelfLoopClone(g, cfg, l, every, &nextID) {
+			cloned = true
+			continue
+		}
+		latch := l.Latches[0]
+		blk := g.Blocks[latch]
+		var probe ir.Instr
+		if iv, ok := cfg.FindInductionVar(l); ok {
+			// Reuse the induction variable instead of maintaining a
+			// separate iteration counter (§3.1).
+			probe = newProbe(ir.Probe{Kind: ir.ProbeTQInduction, Every: every, IndVar: iv.Reg})
+		} else {
+			probe = newProbe(ir.Probe{Kind: ir.ProbeTQGated, Every: every})
+		}
+		blk.Code = append(blk.Code, probe)
+	}
+	if cloned {
+		// Cloning rewrote the CFG; recompute for the acyclic pass.
+		cfg = ir.BuildCFG(g)
+	}
+
+	// Acyclic pass: walk the forward DAG (back edges ignored — loops
+	// are already internally bounded) in reverse postorder, tracking
+	// the maximum instruction weight since the last probe, and insert
+	// a full probe wherever the bound would be exceeded.
+	rpoIndex := make(map[int]int, len(cfg.RPO))
+	for i, b := range cfg.RPO {
+		rpoIndex[b] = i
+	}
+	gapIn := make([]int64, len(g.Blocks))
+	for _, b := range cfg.RPO {
+		blk := g.Blocks[b]
+		gap := gapIn[b]
+		for i := 0; i < len(blk.Code); i++ {
+			in := &blk.Code[i]
+			if in.Op == ir.OpProbe {
+				gap = 0
+				continue
+			}
+			gap += instrWeight(in)
+			if gap > bound {
+				// Insert a probe before this point.
+				probe := newProbe(ir.Probe{Kind: ir.ProbeTQ})
+				blk.Code = append(blk.Code, ir.Instr{})
+				copy(blk.Code[i+1:], blk.Code[i:])
+				blk.Code[i] = probe
+				gap = instrWeight(in)
+				i++ // skip over the shifted current instruction
+			}
+		}
+		for _, s := range blk.Succs() {
+			si, ok := rpoIndex[s]
+			if !ok || si <= rpoIndex[b] {
+				continue // back edge or unreachable
+			}
+			if gap > gapIn[s] {
+				gapIn[s] = gap
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		panic("instrument: TQPass produced invalid IR: " + err.Error())
+	}
+	return g
+}
+
+// trySelfLoopClone applies TQ's single-block self-loop optimization
+// (§3.1): duplicate the loop into an uninstrumented and an instrumented
+// version and pick at run time — if the trip count is below the gate
+// target the loop cannot exceed the quantum, so the uninstrumented
+// clone runs probe-free.
+//
+// It requires the canonical countable shape: the loop is one block B
+// whose exit comparison is CmpLT(i, bound) with i the induction
+// variable and bound defined outside the loop. Returns false when the
+// shape does not match.
+func trySelfLoopClone(g *ir.Func, cfg *ir.CFG, l *ir.Loop, every int64, nextID *int) bool {
+	B := l.Header
+	blk := g.Blocks[B]
+	if blk.Term.Kind != ir.Branch {
+		return false
+	}
+	iv, ok := cfg.FindInductionVar(l)
+	if !ok {
+		return false
+	}
+	// Find CmpLT defining the branch condition and identify the bound
+	// register (the non-induction operand), which must not be written
+	// inside the loop.
+	boundReg := -1
+	for i := range blk.Code {
+		in := &blk.Code[i]
+		if in.Op == ir.OpCmpLT && in.Dst == blk.Term.Cond {
+			switch {
+			case in.A == iv.Reg:
+				boundReg = in.B
+			case in.B == iv.Reg:
+				boundReg = in.A
+			}
+		}
+	}
+	if boundReg < 0 {
+		return false
+	}
+	for i := range blk.Code {
+		in := &blk.Code[i]
+		if in.Op != ir.OpProbe && writesReg(in, boundReg) {
+			return false
+		}
+	}
+
+	// Build the instrumented clone.
+	clone := &ir.Block{ID: len(g.Blocks), Code: append([]ir.Instr(nil), blk.Code...), Term: blk.Term}
+	p := ir.Probe{Kind: ir.ProbeTQInduction, Every: every, IndVar: iv.Reg, ID: *nextID}
+	*nextID++
+	clone.Code = append(clone.Code, ir.Instr{Op: ir.OpProbe, Probe: &p})
+	g.Blocks = append(g.Blocks, clone)
+
+	// Dispatch block: if bound < every*1 (iterations below the gate
+	// target) run the original, else the instrumented clone. Uses two
+	// fresh scratch registers.
+	rEvery := g.NumRegs
+	rCond := g.NumRegs + 1
+	g.NumRegs += 2
+	dispatch := &ir.Block{ID: len(g.Blocks)}
+	dispatch.Code = append(dispatch.Code,
+		ir.Instr{Op: ir.OpConst, Dst: rEvery, Imm: every},
+		ir.Instr{Op: ir.OpCmpLT, Dst: rCond, A: boundReg, B: rEvery},
+	)
+	dispatch.Term = ir.Term{Kind: ir.Branch, Cond: rCond, Succ1: B, Succ2: clone.ID}
+	g.Blocks = append(g.Blocks, dispatch)
+
+	// Redirect external entries into B through the dispatch block;
+	// keep the self edges (each clone loops on itself).
+	for _, pb := range g.Blocks {
+		if pb.ID == B || pb.ID == clone.ID || pb.ID == dispatch.ID {
+			continue
+		}
+		redirect(&pb.Term, B, dispatch.ID)
+	}
+	// Clone's self edge must target the clone, not B.
+	redirect(&clone.Term, B, clone.ID)
+	return true
+}
+
+func redirect(t *ir.Term, from, to int) {
+	if t.Kind == ir.Ret {
+		return
+	}
+	if t.Succ1 == from {
+		t.Succ1 = to
+	}
+	if t.Kind == ir.Branch && t.Succ2 == from {
+		t.Succ2 = to
+	}
+}
+
+func writesReg(in *ir.Instr, r int) bool {
+	switch in.Op {
+	case ir.OpConst, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv,
+		ir.OpAnd, ir.OpXor, ir.OpShr, ir.OpCmpLT, ir.OpLoad:
+		return in.Dst == r
+	}
+	return false
+}
+
+// CIPass inserts instruction-counter probes into a copy of f: the
+// counter must stay correct along every path, so every basic block gets
+// an increment; the chain optimization merges a block's increment into
+// its unique successor when that successor has it as its unique
+// predecessor (the simplified SESE-region optimization of [8, 10]).
+// The counter threshold check rides along with every increment.
+func CIPass(f *ir.Func) *ir.Func {
+	return ciPass(f, ir.ProbeIC)
+}
+
+// CICyclesPass is the CI-Cycles hybrid of §5.6: identical probe
+// placement to CIPass, but a triggered threshold check reads the
+// physical clock and only yields if the quantum truly elapsed.
+func CICyclesPass(f *ir.Func) *ir.Func {
+	return ciPass(f, ir.ProbeICCycles)
+}
+
+func ciPass(f *ir.Func, kind ir.ProbeKind) *ir.Func {
+	g := f.Clone()
+	if g.NonReentrant {
+		return g
+	}
+	cfg := ir.BuildCFG(g)
+	// chainInto[b] = successor that will carry b's increment, or -1.
+	chainInto := make([]int, len(g.Blocks))
+	carried := make([]int64, len(g.Blocks))
+	for i := range chainInto {
+		chainInto[i] = -1
+	}
+	// A block may defer its increment to its single successor if that
+	// successor has exactly one predecessor: both run or neither does.
+	// Loop headers never absorb (their increment would double-count).
+	for _, b := range g.Blocks {
+		succs := b.Succs()
+		if len(succs) != 1 {
+			continue
+		}
+		s := succs[0]
+		if s == b.ID || len(cfg.Preds[s]) != 1 {
+			continue
+		}
+		if lp := cfg.LoopOf(s); lp != nil && lp.Header == s {
+			continue
+		}
+		chainInto[b.ID] = s
+	}
+	// Propagate carried weights along chains in reverse postorder.
+	for _, bid := range cfg.RPO {
+		b := g.Blocks[bid]
+		w := blockWeight(b) + carried[bid]
+		if t := chainInto[bid]; t >= 0 {
+			carried[t] += w
+			continue
+		}
+		if w == 0 {
+			continue
+		}
+		p := &ir.Probe{Kind: kind, Inc: w}
+		b.Code = append(b.Code, ir.Instr{Op: ir.OpProbe, Probe: p})
+	}
+	// Assign dense IDs in block order.
+	next := 0
+	for _, b := range g.Blocks {
+		for i := range b.Code {
+			if b.Code[i].Op == ir.OpProbe {
+				b.Code[i].Probe.ID = next
+				next++
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		panic("instrument: CIPass produced invalid IR: " + err.Error())
+	}
+	return g
+}

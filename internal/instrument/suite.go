@@ -1,0 +1,677 @@
+package instrument
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// The Table 3 suite: synthetic IR programs named after the SPLASH-2,
+// Phoenix and PARSEC workloads the paper instruments. Each program
+// reproduces the *control-flow character* that drives probe placement
+// for its namesake — dense numeric nests, irregular branching,
+// data-dependent trip counts, tiny self-loops, call-heavy bodies —
+// because probe count, probing overhead and timing accuracy are all
+// functions of that structure rather than of the exact computation.
+//
+// Register conventions inside builders: r0 is scratch zero, loop
+// counters and scratch registers are assigned per program; all
+// programs terminate by construction (counted outer loops bound every
+// data-dependent inner loop).
+
+// Suite returns all benchmark programs at the given scale; scale
+// multiplies outer trip counts so tests can run a cheap version
+// (scale < 1) and the Table 3 harness the full one (scale = 1, about a
+// millisecond of simulated execution each).
+func Suite(scale float64) []*ir.Func {
+	if scale <= 0 {
+		panic("instrument: suite scale must be positive")
+	}
+	t := func(n int64) int64 {
+		v := int64(float64(n) * scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	return []*ir.Func{
+		waterNSquared(t), waterSpatial(t), oceanCP(t), oceanNCP(t),
+		barnes(t), volrend(t), fmm(t), raytrace(t), radiosity(t),
+		radix(t), fft(t), luC(t), luNC(t), cholesky(t),
+		reverseIndex(t), histogram(t), kmeans(t), pca(t),
+		matrixMultiply(t), stringMatch(t), linearRegression(t),
+		wordCount(t), blackscholes(t), fluidanimate(t), swaptions(t),
+		canneal(t), streamcluster(t),
+	}
+}
+
+// Program returns the named suite program at full scale, or panics.
+func Program(name string) *ir.Func {
+	for _, f := range Suite(1) {
+		if f.Name == name {
+			return f
+		}
+	}
+	panic(fmt.Sprintf("instrument: unknown suite program %q", name))
+}
+
+type trips func(int64) int64
+
+// pairwise N-body force loop: two-level nest over particle pairs with
+// a moderate arithmetic body and hot loads.
+func waterNSquared(t trips) *ir.Func {
+	b := ir.NewFunc("water-nsquared", 16, 4096)
+	b.CountedLoop(1, 2, 3, t(300), func() {
+		b.CountedLoop(4, 5, 6, 40, func() {
+			b.Add(7, 1, 4)
+			b.Load(8, 7, ir.Hot)
+			b.Mul(9, 8, 8)
+			b.Add(10, 10, 9)
+			b.Xor(11, 10, 8)
+			b.Store(7, 11)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// spatial-decomposition variant: nested loop whose body branches on
+// cell occupancy.
+func waterSpatial(t trips) *ir.Func {
+	b := ir.NewFunc("water-spatial", 16, 4096)
+	b.CountedLoop(1, 2, 3, t(250), func() {
+		b.CountedLoop(4, 5, 6, 32, func() {
+			occupied := b.NewBlock()
+			empty := b.NewBlock()
+			join := b.NewBlock()
+			b.Add(7, 1, 4)
+			b.Load(8, 7, ir.Hot)
+			b.Const(9, 1)
+			b.And(10, 8, 9)
+			b.BranchNZ(10, occupied, empty)
+			b.SetBlock(occupied)
+			b.Mul(11, 8, 8)
+			b.Add(12, 12, 11)
+			b.Jump(join)
+			b.SetBlock(empty)
+			b.Add(12, 12, 9)
+			b.Jump(join)
+			b.SetBlock(join)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// contiguous-partition grid sweep: long inner loop with a large
+// straight-line body — the friendliest case for CI.
+func oceanCP(t trips) *ir.Func {
+	b := ir.NewFunc("ocean-cp", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(60), func() {
+		b.CountedLoop(4, 5, 6, 200, func() {
+			b.Add(7, 1, 4)
+			for k := 0; k < 5; k++ {
+				b.Load(8+k, 7, ir.Hot)
+			}
+			b.Add(13, 8, 9)
+			b.Add(14, 10, 11)
+			b.Add(15, 13, 14)
+			b.Mul(16, 15, 12)
+			b.Shr(17, 16, 0)
+			b.Add(18, 18, 17)
+			b.Store(7, 18)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// non-contiguous variant: the same sweep but strided (warm loads).
+func oceanNCP(t trips) *ir.Func {
+	b := ir.NewFunc("ocean-ncp", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(60), func() {
+		b.CountedLoop(4, 5, 6, 180, func() {
+			b.Const(7, 64)
+			b.Mul(8, 4, 7)
+			b.Add(8, 8, 1)
+			for k := 0; k < 4; k++ {
+				b.Load(9+k, 8, ir.Warm)
+			}
+			b.Add(13, 9, 10)
+			b.Add(14, 11, 12)
+			b.Mul(15, 13, 14)
+			b.Add(16, 16, 15)
+			b.Store(8, 16)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// hierarchical N-body tree walk: a bounded data-dependent descent with
+// cold loads and branches, repeated per body.
+func barnes(t trips) *ir.Func {
+	b := ir.NewFunc("barnes", 16, 4096)
+	b.CountedLoop(1, 2, 3, t(900), func() {
+		// Descend up to 12 levels, direction chosen by loaded data.
+		b.CountedLoop(4, 5, 6, 12, func() {
+			left := b.NewBlock()
+			right := b.NewBlock()
+			join := b.NewBlock()
+			b.Load(7, 8, ir.Cold)
+			b.Const(9, 1)
+			b.And(10, 7, 9)
+			b.BranchNZ(10, left, right)
+			b.SetBlock(left)
+			b.Add(8, 8, 7)
+			b.Jump(join)
+			b.SetBlock(right)
+			b.Xor(8, 8, 7)
+			b.Jump(join)
+			b.SetBlock(join)
+			b.Add(11, 11, 7)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// ray-casting volume renderer: a loop of many tiny branchy blocks —
+// the structure that forces CI to instrument at block granularity.
+func volrend(t trips) *ir.Func {
+	b := ir.NewFunc("volrend", 20, 4096)
+	b.CountedLoop(1, 2, 3, t(1500), func() {
+		// Chain of four data-dependent diamonds with one-instruction
+		// arms.
+		for d := 0; d < 4; d++ {
+			yes := b.NewBlock()
+			no := b.NewBlock()
+			join := b.NewBlock()
+			b.Load(4, 5, ir.Hot)
+			b.Const(6, int64(1<<d))
+			b.And(7, 4, 6)
+			b.BranchNZ(7, yes, no)
+			b.SetBlock(yes)
+			b.Add(5, 5, 6)
+			b.Jump(join)
+			b.SetBlock(no)
+			b.Xor(5, 5, 4)
+			b.Jump(join)
+			b.SetBlock(join)
+		}
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// fast multipole method: nested loops whose inner body calls
+// uninstrumented kernels — exercising the call-cost accounting.
+func fmm(t trips) *ir.Func {
+	b := ir.NewFunc("fmm", 16, 4096)
+	b.CountedLoop(1, 2, 3, t(120), func() {
+		b.CountedLoop(4, 5, 6, 25, func() {
+			b.Add(7, 1, 4)
+			b.Load(8, 7, ir.Warm)
+			b.Mul(9, 8, 8)
+			b.Call(1) // external multipole kernel
+			b.Add(10, 10, 9)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// recursive ray tracer: deeply branching control flow where arm
+// lengths differ a lot, stressing longest-path bounding.
+func raytrace(t trips) *ir.Func {
+	b := ir.NewFunc("raytrace", 24, 4096)
+	b.CountedLoop(1, 2, 3, t(700), func() {
+		hit := b.NewBlock()
+		miss := b.NewBlock()
+		join := b.NewBlock()
+		b.Load(4, 5, ir.Warm)
+		b.Const(6, 3)
+		b.And(7, 4, 6)
+		b.BranchNZ(7, hit, miss)
+		b.SetBlock(hit)
+		// Long arm: shading computation.
+		for k := 0; k < 12; k++ {
+			b.Mul(8, 4, 4)
+			b.Add(9, 9, 8)
+		}
+		b.Jump(join)
+		b.SetBlock(miss)
+		// Short arm: background.
+		b.Add(9, 9, 6)
+		b.Jump(join)
+		b.SetBlock(join)
+		b.Xor(5, 5, 9)
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// hierarchical radiosity: irregular nest — a data-dependent inner loop
+// inside a branchy outer loop.
+func radiosity(t trips) *ir.Func {
+	b := ir.NewFunc("radiosity", 24, 4096)
+	b.CountedLoop(1, 2, 3, t(350), func() {
+		// Inner interaction loop with a data-dependent early exit,
+		// bounded at 20 iterations.
+		inner := b.NewBlock()
+		done := b.NewBlock()
+		b.Const(4, 0)
+		b.Const(5, 20)
+		b.Jump(inner)
+		b.SetBlock(inner)
+		b.Load(6, 7, ir.Warm)
+		b.Add(7, 7, 6)
+		b.Mul(8, 6, 6)
+		b.Add(9, 9, 8)
+		b.Const(10, 1)
+		b.Add(4, 4, 10)
+		b.Const(11, 7)
+		b.And(12, 6, 11)
+		b.CmpLT(13, 4, 5)
+		b.Mul(14, 12, 13) // continue while (energy&7)!=0 && i<20
+		b.BranchNZ(14, inner, done)
+		b.SetBlock(done)
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// radix sort digit pass: a tight single-block (rotated, do-while
+// style) self-loop — the shape TQ's self-loop cloning targets.
+func radix(t trips) *ir.Func {
+	b := ir.NewFunc("radix", 12, 8192)
+	loop := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, 0)        // i
+	b.Const(2, t(40000)) // bound
+	b.Const(8, 1)        // step
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Load(4, 1, ir.Hot)
+	b.Const(5, 8)
+	b.Shr(6, 4, 5)
+	b.Add(7, 7, 6)
+	b.Store(6, 7)
+	b.Add(1, 1, 8)
+	b.CmpLT(3, 1, 2)
+	b.BranchNZ(3, loop, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	return b.Build()
+}
+
+// fast Fourier transform: log-depth outer loop, butterfly inner loop
+// with multiply-heavy bodies.
+func fft(t trips) *ir.Func {
+	b := ir.NewFunc("fft", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(14), func() {
+		b.CountedLoop(4, 5, 6, 1200, func() {
+			b.Add(7, 1, 4)
+			b.Load(8, 7, ir.Hot)
+			b.Load(9, 4, ir.Hot)
+			b.Mul(10, 8, 9)
+			b.Mul(11, 8, 8)
+			b.Sub(12, 10, 11)
+			b.Add(13, 10, 11)
+			b.Store(7, 12)
+			b.Store(4, 13)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// blocked (contiguous) LU: triangular triple nest with a fat innermost
+// body.
+func luC(t trips) *ir.Func {
+	b := ir.NewFunc("lu-c", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(30), func() {
+		b.CountedLoop(4, 5, 6, 30, func() {
+			b.CountedLoop(7, 8, 9, 16, func() {
+				b.Add(10, 4, 7)
+				b.Load(11, 10, ir.Hot)
+				b.Load(12, 7, ir.Hot)
+				b.Mul(13, 11, 12)
+				b.Sub(14, 14, 13)
+				b.Store(10, 14)
+			})
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// non-contiguous LU: the same nest with strided (warm) accesses.
+func luNC(t trips) *ir.Func {
+	b := ir.NewFunc("lu-nc", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(28), func() {
+		b.CountedLoop(4, 5, 6, 28, func() {
+			b.CountedLoop(7, 8, 9, 14, func() {
+				b.Const(10, 128)
+				b.Mul(11, 7, 10)
+				b.Add(11, 11, 4)
+				b.Load(12, 11, ir.Warm)
+				b.Mul(13, 12, 12)
+				b.Sub(14, 14, 13)
+				b.Store(11, 14)
+			})
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// sparse Cholesky factorization: triple nest with *tiny* inner blocks —
+// many probes under CI, few under TQ.
+func cholesky(t trips) *ir.Func {
+	b := ir.NewFunc("cholesky", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(220), func() {
+		b.CountedLoop(4, 5, 6, 10, func() {
+			b.CountedLoop(7, 8, 9, 6, func() {
+				b.Load(10, 7, ir.Hot)
+				b.Sub(11, 11, 10)
+			})
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// inverted-index builder: tokenizing loop with calls and branches.
+func reverseIndex(t trips) *ir.Func {
+	b := ir.NewFunc("reverse-index", 20, 4096)
+	b.CountedLoop(1, 2, 3, t(420), func() {
+		tok := b.NewBlock()
+		sep := b.NewBlock()
+		join := b.NewBlock()
+		b.Load(4, 1, ir.Warm)
+		b.Const(5, 15)
+		b.And(6, 4, 5)
+		b.BranchNZ(6, tok, sep)
+		b.SetBlock(tok)
+		b.Mul(7, 4, 4)
+		b.Add(8, 8, 7)
+		b.Jump(join)
+		b.SetBlock(sep)
+		b.Call(1) // hash-table insert via external allocator
+		b.Jump(join)
+		b.SetBlock(join)
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// histogram: single-block counting self-loop over pixels (rotated, so
+// the whole loop is one block and cloning applies).
+func histogram(t trips) *ir.Func {
+	b := ir.NewFunc("histogram", 12, 8192)
+	loop := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, 0)
+	b.Const(2, t(50000))
+	b.Const(7, 1)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Load(4, 1, ir.Hot)
+	b.Const(5, 255)
+	b.And(6, 4, 5)
+	b.Store(6, 1)
+	b.Add(1, 1, 7)
+	b.CmpLT(3, 1, 2)
+	b.BranchNZ(3, loop, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	return b.Build()
+}
+
+// k-means: outer iteration loop, middle point loop, inner distance
+// accumulation with small blocks.
+func kmeans(t trips) *ir.Func {
+	b := ir.NewFunc("kmeans", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(12), func() {
+		b.CountedLoop(4, 5, 6, 180, func() {
+			b.CountedLoop(7, 8, 9, 8, func() {
+				b.Add(10, 4, 7)
+				b.Load(11, 10, ir.Hot)
+				b.Load(12, 7, ir.Hot)
+				b.Sub(13, 11, 12)
+				b.Mul(14, 13, 13)
+				b.Add(15, 15, 14)
+			})
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// principal component analysis: covariance accumulation, a wide nest
+// with multiply/divide-heavy bodies.
+func pca(t trips) *ir.Func {
+	b := ir.NewFunc("pca", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(45), func() {
+		b.CountedLoop(4, 5, 6, 45, func() {
+			b.Add(7, 1, 4)
+			b.Load(8, 7, ir.Hot)
+			b.Load(9, 1, ir.Hot)
+			b.Mul(10, 8, 9)
+			b.Const(11, 45)
+			b.Div(12, 10, 11)
+			b.Add(13, 13, 12)
+			b.Store(7, 13)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// dense matrix multiply: the canonical triple nest with a tiny
+// multiply-accumulate self-loop innermost.
+func matrixMultiply(t trips) *ir.Func {
+	b := ir.NewFunc("matrix-multiply", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(26), func() {
+		b.CountedLoop(4, 5, 6, 26, func() {
+			b.CountedLoop(7, 8, 9, 26, func() {
+				b.Add(10, 1, 7)
+				b.Load(11, 10, ir.Hot)
+				b.Add(12, 7, 4)
+				b.Load(13, 12, ir.Hot)
+				b.Mul(14, 11, 13)
+				b.Add(15, 15, 14)
+			})
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// string matching: byte-compare inner loop with data-dependent early
+// exit and one-instruction blocks — CI's worst case in Table 3.
+func stringMatch(t trips) *ir.Func {
+	b := ir.NewFunc("string-match", 20, 4096)
+	b.CountedLoop(1, 2, 3, t(2200), func() {
+		scan := b.NewBlock()
+		out := b.NewBlock()
+		b.Const(4, 0)
+		b.Const(5, 16) // compare at most 16 bytes
+		b.Jump(scan)
+		b.SetBlock(scan)
+		b.Load(6, 7, ir.Hot)
+		b.Const(8, 1)
+		b.Add(7, 7, 6)
+		b.Add(4, 4, 8)
+		b.Const(9, 3)
+		b.And(10, 6, 9)   // mismatch with p=3/4
+		b.CmpLT(11, 4, 5) // and length guard
+		b.Mul(12, 10, 11)
+		b.BranchNZ(12, scan, out)
+		b.SetBlock(out)
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// linear regression: one long streaming loop with a moderate body.
+func linearRegression(t trips) *ir.Func {
+	b := ir.NewFunc("linear-regression", 16, 8192)
+	b.CountedLoop(1, 2, 3, t(25000), func() {
+		b.Load(4, 1, ir.Hot)
+		b.Mul(5, 4, 4)
+		b.Add(6, 6, 4)
+		b.Add(7, 7, 5)
+		b.Add(8, 8, 1)
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// word count: tokenizer loop mixing branches and an occasional
+// external call (emit).
+func wordCount(t trips) *ir.Func {
+	b := ir.NewFunc("word-count", 20, 4096)
+	b.CountedLoop(1, 2, 3, t(900), func() {
+		word := b.NewBlock()
+		space := b.NewBlock()
+		join := b.NewBlock()
+		b.Load(4, 1, ir.Hot)
+		b.Const(5, 7)
+		b.And(6, 4, 5)
+		b.BranchNZ(6, word, space)
+		b.SetBlock(word)
+		b.Add(7, 7, 4)
+		b.Xor(8, 8, 7)
+		b.Jump(join)
+		b.SetBlock(space)
+		b.Call(1)
+		b.Jump(join)
+		b.SetBlock(join)
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// Black-Scholes: a loop over options with one long straight-line
+// numeric body — nearly free for every technique.
+func blackscholes(t trips) *ir.Func {
+	b := ir.NewFunc("blackscholes", 28, 4096)
+	b.CountedLoop(1, 2, 3, t(600), func() {
+		b.Load(4, 1, ir.Hot)
+		for k := 0; k < 6; k++ {
+			b.Mul(5+k, 4, 4)
+			b.Add(11, 11, 5+k)
+		}
+		b.Const(17, 252)
+		b.Div(18, 11, 17)
+		b.Mul(19, 18, 18)
+		b.Add(20, 20, 19)
+		b.Store(1, 20)
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// fluid simulation: grid nest with neighbour loads spanning cache
+// levels and a branch per cell.
+func fluidanimate(t trips) *ir.Func {
+	b := ir.NewFunc("fluidanimate", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(90), func() {
+		b.CountedLoop(4, 5, 6, 60, func() {
+			boundary := b.NewBlock()
+			interior := b.NewBlock()
+			join := b.NewBlock()
+			b.Add(7, 1, 4)
+			b.Load(8, 7, ir.Warm)
+			b.Const(9, 31)
+			b.And(10, 4, 9)
+			b.BranchNZ(10, interior, boundary)
+			b.SetBlock(interior)
+			b.Load(11, 8, ir.Hot)
+			b.Mul(12, 11, 8)
+			b.Add(13, 13, 12)
+			b.Jump(join)
+			b.SetBlock(boundary)
+			b.Add(13, 13, 8)
+			b.Jump(join)
+			b.SetBlock(join)
+			b.Store(7, 13)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// swaption pricing: Monte-Carlo nest with divide-heavy path updates.
+func swaptions(t trips) *ir.Func {
+	b := ir.NewFunc("swaptions", 24, 4096)
+	b.CountedLoop(1, 2, 3, t(140), func() {
+		b.CountedLoop(4, 5, 6, 20, func() {
+			b.Load(7, 4, ir.Hot)
+			b.Const(8, 97)
+			b.Div(9, 7, 8)
+			b.Mul(10, 9, 9)
+			b.Add(11, 11, 10)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// simulated annealing of netlists: pointer-chasing loop with cold
+// loads and a swap/no-swap branch.
+func canneal(t trips) *ir.Func {
+	b := ir.NewFunc("canneal", 20, 8192)
+	b.CountedLoop(1, 2, 3, t(500), func() {
+		swap := b.NewBlock()
+		keep := b.NewBlock()
+		join := b.NewBlock()
+		b.Load(4, 5, ir.Cold)
+		b.Add(5, 5, 4) // chase to the next element
+		b.Const(6, 1)
+		b.And(7, 4, 6)
+		b.BranchNZ(7, swap, keep)
+		b.SetBlock(swap)
+		b.Store(5, 4)
+		b.Add(8, 8, 6)
+		b.Jump(join)
+		b.SetBlock(keep)
+		b.Xor(8, 8, 4)
+		b.Jump(join)
+		b.SetBlock(join)
+	})
+	b.Ret()
+	return b.Build()
+}
+
+// streaming clustering: distance loop nest with comparisons feeding a
+// conditional assignment.
+func streamcluster(t trips) *ir.Func {
+	b := ir.NewFunc("streamcluster", 24, 8192)
+	b.CountedLoop(1, 2, 3, t(260), func() {
+		b.CountedLoop(4, 5, 6, 18, func() {
+			closer := b.NewBlock()
+			farther := b.NewBlock()
+			join := b.NewBlock()
+			b.Add(7, 1, 4)
+			b.Load(8, 7, ir.Hot)
+			b.Sub(9, 8, 10)
+			b.Mul(11, 9, 9)
+			b.CmpLT(12, 11, 13)
+			b.BranchNZ(12, closer, farther)
+			b.SetBlock(closer)
+			b.Add(13, 11, 14) // update best distance
+			b.Jump(join)
+			b.SetBlock(farther)
+			b.Add(15, 15, 11)
+			b.Jump(join)
+			b.SetBlock(join)
+		})
+	})
+	b.Ret()
+	return b.Build()
+}

@@ -1,0 +1,88 @@
+package instrument
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// DefaultBound is the TQ pass's maximum uninstrumented path length in
+// instruction weights. With ≈2-cycle average instructions at 2.1GHz,
+// 100 instructions keep probe spacing well under a 1µs quantum while
+// still placing ≈25-60x fewer probes than per-block instrumentation —
+// the regime §3.1 reports (40 probes vs >1000 for a 2µs RocksDB GET).
+const DefaultBound = 100
+
+// DefaultQuantumNs is Table 3's target quantum (2µs).
+const DefaultQuantumNs = 2000
+
+// Table3Row compares the three techniques on one program.
+type Table3Row struct {
+	Program string
+	// ByTech maps TechTQ/TechCI/TechCICycles to their measurements.
+	ByTech map[string]Measurement
+}
+
+// Table3 runs the full comparison at the given suite scale, mirroring
+// §5.6: every suite program, instrumented with CI, CI-Cycles and TQ,
+// measured for probing overhead and yield-timing MAE at a 2µs quantum.
+func Table3(scale float64, seed uint64) []Table3Row {
+	model := ir.DefaultCosts()
+	var rows []Table3Row
+	for _, f := range Suite(scale) {
+		row := Table3Row{Program: f.Name, ByTech: map[string]Measurement{}}
+		row.ByTech[TechCI] = MeasureCI(f, DefaultQuantumNs, model, seed)
+		row.ByTech[TechCICycles] = MeasureCICycles(f, DefaultQuantumNs, model, seed)
+		row.ByTech[TechTQ] = MeasureTQ(f, DefaultBound, DefaultQuantumNs, model, seed)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Means aggregates the per-technique averages over rows (the "mean"
+// line of Table 3).
+func Means(rows []Table3Row) map[string]Measurement {
+	out := map[string]Measurement{}
+	if len(rows) == 0 {
+		return out
+	}
+	for _, tech := range []string{TechCI, TechCICycles, TechTQ} {
+		var agg Measurement
+		agg.Technique = tech
+		agg.Program = "mean"
+		for _, r := range rows {
+			m := r.ByTech[tech]
+			agg.OverheadPct += m.OverheadPct
+			agg.MAEns += m.MAEns
+			agg.StaticProbes += m.StaticProbes
+		}
+		n := float64(len(rows))
+		agg.OverheadPct /= n
+		agg.MAEns /= n
+		agg.StaticProbes /= len(rows)
+		out[tech] = agg
+	}
+	return out
+}
+
+// Format renders rows as an aligned text table in the paper's layout
+// (overhead % then MAE ns, CI | CI-CY | TQ).
+func Format(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %28s   %30s   %s\n", "", "probing overhead (%)", "MAE of yield timing (ns)", "probes")
+	fmt.Fprintf(&b, "%-20s %8s %9s %9s   %9s %9s %9s   %6s %6s %6s\n",
+		"workload", "CI", "CI-CY", "TQ", "CI", "CI-CY", "TQ", "CI", "CI-CY", "TQ")
+	emit := func(name string, ci, cy, tq Measurement) {
+		fmt.Fprintf(&b, "%-20s %8.2f %9.2f %9.2f   %9.0f %9.0f %9.0f   %6d %6d %6d\n",
+			name, ci.OverheadPct, cy.OverheadPct, tq.OverheadPct,
+			ci.MAEns, cy.MAEns, tq.MAEns,
+			ci.StaticProbes, cy.StaticProbes, tq.StaticProbes)
+	}
+	for _, r := range rows {
+		emit(r.Program, r.ByTech[TechCI], r.ByTech[TechCICycles], r.ByTech[TechTQ])
+	}
+	m := Means(rows)
+	emit("mean", m[TechCI], m[TechCICycles], m[TechTQ])
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package ir
+
+import "fmt"
+
+// Builder constructs functions imperatively: create blocks, emit
+// instructions into the current block, terminate, repeat. The
+// benchmark-program suite in internal/instrument is written against it.
+type Builder struct {
+	f   *Func
+	cur *Block
+}
+
+// NewFunc starts a function with the given register-file and data
+// memory sizes. Block 0 is created and selected as the entry.
+func NewFunc(name string, regs, memWords int) *Builder {
+	b := &Builder{f: &Func{Name: name, NumRegs: regs, MemWords: memWords}}
+	b.NewBlock()
+	b.SetBlock(0)
+	return b
+}
+
+// NewBlock appends an empty block and returns its ID (it does not
+// change the current block).
+func (b *Builder) NewBlock() int {
+	blk := &Block{ID: len(b.f.Blocks), Term: Term{Kind: Ret}}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk.ID
+}
+
+// SetBlock selects the block that subsequent emissions target.
+func (b *Builder) SetBlock(id int) { b.cur = b.f.Blocks[id] }
+
+// Current returns the selected block's ID.
+func (b *Builder) Current() int { return b.cur.ID }
+
+func (b *Builder) emit(in Instr) {
+	b.cur.Code = append(b.cur.Code, in)
+}
+
+// Const emits dst = imm.
+func (b *Builder) Const(dst int, imm int64) { b.emit(Instr{Op: OpConst, Dst: dst, Imm: imm}) }
+
+// Add emits dst = a + rb.
+func (b *Builder) Add(dst, a, rb int) { b.emit(Instr{Op: OpAdd, Dst: dst, A: a, B: rb}) }
+
+// Sub emits dst = a - rb.
+func (b *Builder) Sub(dst, a, rb int) { b.emit(Instr{Op: OpSub, Dst: dst, A: a, B: rb}) }
+
+// Mul emits dst = a * rb.
+func (b *Builder) Mul(dst, a, rb int) { b.emit(Instr{Op: OpMul, Dst: dst, A: a, B: rb}) }
+
+// Div emits dst = a / rb.
+func (b *Builder) Div(dst, a, rb int) { b.emit(Instr{Op: OpDiv, Dst: dst, A: a, B: rb}) }
+
+// And emits dst = a & rb.
+func (b *Builder) And(dst, a, rb int) { b.emit(Instr{Op: OpAnd, Dst: dst, A: a, B: rb}) }
+
+// Xor emits dst = a ^ rb.
+func (b *Builder) Xor(dst, a, rb int) { b.emit(Instr{Op: OpXor, Dst: dst, A: a, B: rb}) }
+
+// Shr emits dst = a >> (rb & 63).
+func (b *Builder) Shr(dst, a, rb int) { b.emit(Instr{Op: OpShr, Dst: dst, A: a, B: rb}) }
+
+// CmpLT emits dst = (a < rb) ? 1 : 0.
+func (b *Builder) CmpLT(dst, a, rb int) { b.emit(Instr{Op: OpCmpLT, Dst: dst, A: a, B: rb}) }
+
+// Load emits dst = mem[a] with the given locality class.
+func (b *Builder) Load(dst, a int, loc Locality) {
+	b.emit(Instr{Op: OpLoad, Dst: dst, A: a, Locality: loc})
+}
+
+// Store emits mem[a] = rb.
+func (b *Builder) Store(a, rb int) { b.emit(Instr{Op: OpStore, A: a, B: rb}) }
+
+// Call emits a call to an uninstrumented external function whose cost
+// is scale times the model's base call cost.
+func (b *Builder) Call(scale int64) { b.emit(Instr{Op: OpCall, Imm: scale}) }
+
+// Jump terminates the current block with an unconditional jump.
+func (b *Builder) Jump(target int) { b.cur.Term = Term{Kind: Jump, Succ1: target} }
+
+// BranchNZ terminates the current block: if register cond is nonzero
+// control goes to t1, else t2.
+func (b *Builder) BranchNZ(cond, t1, t2 int) {
+	b.cur.Term = Term{Kind: Branch, Cond: cond, Succ1: t1, Succ2: t2}
+}
+
+// Ret terminates the current block with a return.
+func (b *Builder) Ret() { b.cur.Term = Term{Kind: Ret} }
+
+// Build validates and returns the function.
+func (b *Builder) Build() *Func {
+	if err := b.f.Validate(); err != nil {
+		panic(fmt.Sprintf("ir.Builder: %v", err))
+	}
+	return b.f
+}
+
+// CountedLoop emits a canonical counted loop using registers iReg
+// (counter) and tmpReg (comparison scratch): body blocks are produced
+// by bodyFn, which is given the builder positioned in a fresh body
+// block and must not terminate it. The loop runs trips iterations.
+// After the call the builder is positioned in the exit block, whose ID
+// is returned.
+func (b *Builder) CountedLoop(iReg, boundReg, tmpReg int, trips int64, bodyFn func()) int {
+	header := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.Const(iReg, 0)
+	b.Const(boundReg, trips)
+	b.Jump(header)
+	b.SetBlock(header)
+	b.CmpLT(tmpReg, iReg, boundReg)
+	b.BranchNZ(tmpReg, body, exit)
+	b.SetBlock(body)
+	bodyFn()
+	one := tmpReg // reuse scratch for the increment constant
+	b.Const(one, 1)
+	b.Add(iReg, iReg, one)
+	b.Jump(header)
+	b.SetBlock(exit)
+	return exit
+}

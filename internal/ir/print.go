@@ -1,0 +1,84 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the function as readable text, one block per
+// paragraph — the debugging view of what an instrumentation pass did
+// to a function.
+func (f *Func) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (regs=%d, mem=%d words)\n", f.Name, f.NumRegs, f.MemWords)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:\n", blk.ID)
+		for i := range blk.Code {
+			fmt.Fprintf(&b, "\t%s\n", blk.Code[i].String())
+		}
+		fmt.Fprintf(&b, "\t%s\n", blk.Term.String())
+	}
+	return b.String()
+}
+
+// String renders one instruction in a compact assembly-like syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpXor, OpShr, OpCmpLT:
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Op, in.A, in.B)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load %s [r%d]", in.Dst, in.Locality, in.A)
+	case OpStore:
+		return fmt.Sprintf("store [r%d], r%d", in.A, in.B)
+	case OpCall:
+		return fmt.Sprintf("call extern x%d", max64(in.Imm, 1))
+	case OpProbe:
+		p := in.Probe
+		if p == nil {
+			return "probe <missing metadata>"
+		}
+		switch p.Kind {
+		case ProbeTQGated:
+			return fmt.Sprintf("probe %s every=%d", p.Kind, p.Every)
+		case ProbeTQInduction:
+			return fmt.Sprintf("probe %s ivar=r%d every=%d", p.Kind, p.IndVar, p.Every)
+		case ProbeIC, ProbeICCycles:
+			return fmt.Sprintf("probe %s inc=%d", p.Kind, p.Inc)
+		default:
+			return fmt.Sprintf("probe %s", p.Kind)
+		}
+	}
+	return fmt.Sprintf("op(%d)", in.Op)
+}
+
+// String renders a terminator.
+func (t Term) String() string {
+	switch t.Kind {
+	case Jump:
+		return fmt.Sprintf("jmp b%d", t.Succ1)
+	case Branch:
+		return fmt.Sprintf("br r%d ? b%d : b%d", t.Cond, t.Succ1, t.Succ2)
+	default:
+		return "ret"
+	}
+}
+
+func (l Locality) String() string {
+	switch l {
+	case Hot:
+		return "hot"
+	case Warm:
+		return "warm"
+	default:
+		return "cold"
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

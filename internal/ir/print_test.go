@@ -1,0 +1,66 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleCoversConstructs(t *testing.T) {
+	b := NewFunc("demo", 8, 64)
+	loop := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, 5)
+	b.Load(2, 1, Warm)
+	b.Store(1, 2)
+	b.Call(3)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Add(3, 3, 1)
+	b.CmpLT(4, 3, 1)
+	b.BranchNZ(4, loop, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	f := b.Build()
+	f.Blocks[1].Code = append(f.Blocks[1].Code,
+		Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeTQ}},
+		Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeTQGated, Every: 4}},
+		Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeTQInduction, IndVar: 3, Every: 8}},
+		Instr{Op: OpProbe, Probe: &Probe{Kind: ProbeIC, Inc: 12}},
+	)
+
+	out := f.Disassemble()
+	for _, want := range []string{
+		"func demo (regs=8, mem=64 words)",
+		"r1 = const 5",
+		"r2 = load warm [r1]",
+		"store [r1], r2",
+		"call extern x3",
+		"jmp b1",
+		"r3 = add r3, r1",
+		"r4 = cmplt r3, r1",
+		"br r4 ? b1 : b2",
+		"probe tq",
+		"probe tq-gated every=4",
+		"probe tq-ivar ivar=r3 every=8",
+		"probe ic inc=12",
+		"ret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrStringProbeWithoutMetadata(t *testing.T) {
+	in := Instr{Op: OpProbe}
+	if got := in.String(); !strings.Contains(got, "missing") {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestLocalityStrings(t *testing.T) {
+	if Hot.String() != "hot" || Warm.String() != "warm" || Cold.String() != "cold" {
+		t.Fatal("locality strings wrong")
+	}
+}

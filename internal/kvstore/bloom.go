@@ -1,0 +1,78 @@
+package kvstore
+
+// bloom is a split Bloom filter guarding each immutable run, as in
+// RocksDB: GETs consult it before binary-searching the run, so point
+// lookups skip runs that definitely lack the key. Filters use double
+// hashing (Kirsch-Mitzenmacher) over a 64-bit key hash.
+type bloom struct {
+	bits  []uint64
+	k     int
+	base  uint64 // synthetic trace address of word 0
+	trace Tracer
+}
+
+// bloomBitsPerKey matches RocksDB's default of 10 bits per key
+// (≈1% false-positive rate with 7 probes).
+const bloomBitsPerKey = 10
+
+func newBloom(n int, base uint64, trace Tracer) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	words := (n*bloomBitsPerKey + 63) / 64
+	return &bloom{
+		bits:  make([]uint64, words),
+		k:     7,
+		base:  base,
+		trace: trace,
+	}
+}
+
+// sizeBytes reports the filter's footprint for trace-address layout.
+func (b *bloom) sizeBytes() uint64 { return uint64(len(b.bits)) * 8 }
+
+// hashKey mixes key bytes into a 64-bit value (FNV-1a core with a
+// final avalanche).
+func hashKey(key []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func (b *bloom) probes(key []byte) (h1, h2 uint64) {
+	h := hashKey(key)
+	return h, h>>32 | h<<32
+}
+
+func (b *bloom) add(key []byte) {
+	h1, h2 := b.probes(key)
+	m := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % m
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mayContain reports whether key was possibly added; false means
+// definitely absent. Filter-word touches are traced so the cache study
+// sees GET's real access mix.
+func (b *bloom) mayContain(key []byte) bool {
+	h1, h2 := b.probes(key)
+	m := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % m
+		if b.trace != nil {
+			b.trace(b.base+(bit/64)*8, 8)
+		}
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := newBloom(1000, 0, nil)
+	for i := 0; i < 1000; i++ {
+		b.add(key(i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain(key(i)) {
+			t.Fatalf("false negative for %s", key(i))
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := newBloom(10000, 0, nil)
+	for i := 0; i < 10000; i++ {
+		b.add(key(i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if b.mayContain([]byte(fmt.Sprintf("absent-%08d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 10 bits/key with 7 hashes gives ~1%; accept up to 3%.
+	if rate > 0.03 {
+		t.Fatalf("false-positive rate %.3f too high", rate)
+	}
+}
+
+func TestBloomEmptyRejectsEverything(t *testing.T) {
+	b := newBloom(100, 0, nil)
+	for i := 0; i < 100; i++ {
+		if b.mayContain(key(i)) {
+			t.Fatalf("empty filter claimed to contain %s", key(i))
+		}
+	}
+}
+
+func TestBloomTracesProbes(t *testing.T) {
+	touches := 0
+	b := newBloom(100, 4096, func(addr uint64, size int) {
+		if addr < 4096 || size != 8 {
+			t.Fatalf("bad trace access addr=%d size=%d", addr, size)
+		}
+		touches++
+	})
+	b.add(key(1))
+	b.mayContain(key(1))
+	if touches != b.k {
+		t.Fatalf("positive lookup traced %d touches, want %d", touches, b.k)
+	}
+}
+
+func TestStoreGetUsesFilters(t *testing.T) {
+	// After flushing several runs, misses must not binary-search every
+	// run: with filters, a missing key's Get touches far fewer entry
+	// addresses than log2(n) per run would imply.
+	s := New(Config{Seed: 1})
+	for i := 0; i < 3000; i++ {
+		s.Put(key(i), val(i))
+		if i%1000 == 999 {
+			s.Flush()
+		}
+	}
+	if st := s.Stats(); st.Runs != 3 {
+		t.Fatalf("expected 3 runs, have %d", st.Runs)
+	}
+	// Correctness across filters.
+	for i := 0; i < 3000; i += 7 {
+		if v, ok := s.Get(key(i)); !ok || string(v) != string(val(i)) {
+			t.Fatalf("Get(%s) = (%q,%v)", key(i), v, ok)
+		}
+	}
+	if _, ok := s.Get([]byte("absent-key")); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func BenchmarkBloomLookup(b *testing.B) {
+	f := newBloom(100000, 0, nil)
+	for i := 0; i < 100000; i++ {
+		f.add(key(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.mayContain(key(i % 200000))
+	}
+}

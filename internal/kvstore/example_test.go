@@ -1,0 +1,27 @@
+package kvstore_test
+
+import (
+	"fmt"
+
+	"repro/internal/kvstore"
+)
+
+func Example() {
+	store := kvstore.New(kvstore.Config{Seed: 1})
+	store.Put([]byte("user42"), []byte("alice"))
+	store.Put([]byte("user43"), []byte("bob"))
+	store.Flush() // memtable -> sorted run (with a Bloom filter)
+	store.Put([]byte("user44"), []byte("carol"))
+
+	if v, ok := store.Get([]byte("user42")); ok {
+		fmt.Printf("GET user42 = %s\n", v)
+	}
+	store.Scan([]byte("user43"), 2, func(k, v []byte) bool {
+		fmt.Printf("SCAN %s = %s\n", k, v)
+		return true
+	})
+	// Output:
+	// GET user42 = alice
+	// SCAN user43 = bob
+	// SCAN user44 = carol
+}

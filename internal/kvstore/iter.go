@@ -1,0 +1,106 @@
+package kvstore
+
+import "bytes"
+
+// source is one ordered input to the merge: the memtable or a run.
+// Sources are ordered newest-first; on key ties the newest wins and the
+// older versions are skipped, giving LSM overwrite semantics.
+type source interface {
+	// peek returns the current entry without advancing.
+	peek() (key, val []byte, tomb, ok bool)
+	// advance moves past the current entry.
+	advance()
+}
+
+type memIter struct{ n *node }
+
+func (it *memIter) peek() ([]byte, []byte, bool, bool) {
+	if it.n == nil {
+		return nil, nil, false, false
+	}
+	return it.n.key, it.n.val, it.n.tomb, true
+}
+
+func (it *memIter) advance() {
+	if it.n != nil {
+		it.n = it.n.next[0]
+	}
+}
+
+type runIter struct {
+	r *run
+	i int
+}
+
+func (it *runIter) peek() ([]byte, []byte, bool, bool) {
+	if it.i >= len(it.r.keys) {
+		return nil, nil, false, false
+	}
+	it.r.touch(it.i)
+	return it.r.keys[it.i], it.r.vals[it.i], it.r.tombs[it.i], true
+}
+
+func (it *runIter) advance() { it.i++ }
+
+// mergeIter yields entries in ascending key order across all sources,
+// collapsing duplicate keys to the newest version (including
+// tombstones, which callers filter).
+type mergeIter struct{ sources []source }
+
+func (m *mergeIter) next() (key, val []byte, tomb, ok bool) {
+	best := -1
+	var bestKey []byte
+	for i, s := range m.sources {
+		k, _, _, sok := s.peek()
+		if !sok {
+			continue
+		}
+		if best == -1 || bytes.Compare(k, bestKey) < 0 {
+			best, bestKey = i, k
+		}
+	}
+	if best == -1 {
+		return nil, nil, false, false
+	}
+	key, val, tomb, _ = m.sources[best].peek()
+	// Advance the winner and every older source holding the same key.
+	for i := best; i < len(m.sources); i++ {
+		if k, _, _, sok := m.sources[i].peek(); sok && bytes.Equal(k, key) {
+			m.sources[i].advance()
+		}
+	}
+	return key, val, tomb, true
+}
+
+// newMergeIter positions a merge across memtable and all runs at the
+// first key >= start.
+func (s *Store) newMergeIter(start []byte) *mergeIter {
+	m := &mergeIter{}
+	mi := &memIter{n: s.mem.head.next[0]}
+	if start != nil {
+		mi.n = s.mem.seek(start, nil)
+	}
+	m.sources = append(m.sources, mi)
+	for _, r := range s.runs {
+		ri := &runIter{r: r}
+		if start != nil {
+			ri.i = r.find(start)
+		}
+		m.sources = append(m.sources, ri)
+	}
+	return m
+}
+
+// newRunsIter merges only the runs (used by compaction; the memtable is
+// excluded so in-flight writes stay in place).
+func (s *Store) newRunsIter(start []byte) *mergeIter {
+	m := &mergeIter{}
+	for _, r := range s.runs {
+		ri := &runIter{r: r}
+		if start != nil {
+			ri.i = r.find(start)
+		}
+		m.sources = append(m.sources, ri)
+	}
+	return m
+}

@@ -1,0 +1,349 @@
+// Package kvstore is an in-memory ordered key-value store standing in
+// for the paper's RocksDB workload (§5.1): an LSM-flavoured design with
+// a skiplist memtable and immutable sorted runs, supporting the GET and
+// SCAN operations of Table 1.
+//
+// Two properties matter for the reproduction. First, GET is a µs-scale
+// point lookup while SCAN walks a large key range, giving the
+// 1.2µs/675µs bimodality the scheduling experiments need when run on
+// the live runtime. Second, every memory touch can be reported to a
+// Tracer at cache-line granularity, producing the address traces behind
+// the reuse-distance histograms of Figure 15 (the paper uses a Pin
+// tool; here the store itself is the instrumentation point).
+package kvstore
+
+import (
+	"bytes"
+
+	"repro/internal/rng"
+)
+
+// Tracer receives the store's memory accesses: addr is a synthetic byte
+// address and size the touched extent. Addresses are stable and unique
+// per structure, laid out the way the real data structures are (nodes
+// scattered, run arrays contiguous), so reuse distances computed over
+// the trace mirror the real access pattern.
+type Tracer func(addr uint64, size int)
+
+// Config configures a Store.
+type Config struct {
+	// MemtableBytes flushes the memtable into a sorted run once its
+	// approximate footprint exceeds this. Zero means 4MiB.
+	MemtableBytes int
+	// MaxRuns triggers a full merge compaction when exceeded. Zero
+	// means 8.
+	MaxRuns int
+	// Seed drives the skiplist level generator.
+	Seed uint64
+	// Trace, if non-nil, observes every memory access.
+	Trace Tracer
+}
+
+const (
+	maxLevel     = 12
+	nodeHeader   = 64 // synthetic footprint of a skiplist node, bytes
+	entryHeader  = 32 // synthetic footprint of a run entry descriptor
+	defaultMemtB = 4 << 20
+	defaultRuns  = 8
+)
+
+// node is a skiplist node. The synthetic address models that nodes are
+// individually heap-allocated (poor locality), unlike run arrays.
+type node struct {
+	key, val []byte
+	tomb     bool
+	next     []*node
+	addr     uint64
+}
+
+// memtable is a skiplist ordered by key.
+type memtable struct {
+	head  *node
+	rand  *rng.Rand
+	size  int // approximate bytes
+	count int
+	alloc *uint64
+	trace Tracer
+}
+
+func newMemtable(r *rng.Rand, alloc *uint64, trace Tracer) *memtable {
+	return &memtable{
+		head:  &node{next: make([]*node, maxLevel)},
+		rand:  r,
+		alloc: alloc,
+		trace: trace,
+	}
+}
+
+func (m *memtable) touch(n *node, keyBytes int) {
+	if m.trace != nil && n.addr != 0 {
+		m.trace(n.addr, nodeHeader+keyBytes)
+	}
+}
+
+func (m *memtable) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && m.rand.Uint64n(4) == 0 {
+		lvl++
+	}
+	return lvl
+}
+
+// seek returns the node with the largest key < key at every level,
+// filling prev.
+func (m *memtable) seek(key []byte, prev *[maxLevel]*node) *node {
+	x := m.head
+	for lvl := maxLevel - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil {
+			m.touch(x.next[lvl], len(x.next[lvl].key))
+			if bytes.Compare(x.next[lvl].key, key) >= 0 {
+				break
+			}
+			x = x.next[lvl]
+		}
+		if prev != nil {
+			prev[lvl] = x
+		}
+	}
+	return x.next[0]
+}
+
+func (m *memtable) put(key, val []byte, tomb bool) {
+	var prev [maxLevel]*node
+	found := m.seek(key, &prev)
+	if found != nil && bytes.Equal(found.key, key) {
+		m.size += len(val) - len(found.val)
+		found.val = append(found.val[:0], val...)
+		found.tomb = tomb
+		return
+	}
+	lvl := m.randomLevel()
+	n := &node{
+		key:  append([]byte(nil), key...),
+		val:  append([]byte(nil), val...),
+		tomb: tomb,
+		next: make([]*node, lvl),
+	}
+	*m.alloc += nodeHeader + uint64(len(key)+len(val))
+	// Round the bump allocator to a fresh cache line per node.
+	*m.alloc = (*m.alloc + 63) &^ 63
+	n.addr = *m.alloc
+	for i := 0; i < lvl; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	m.size += nodeHeader + len(key) + len(val)
+	m.count++
+}
+
+func (m *memtable) get(key []byte) (*node, bool) {
+	n := m.seek(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n, true
+	}
+	return nil, false
+}
+
+// run is an immutable sorted array of entries, the product of a flush
+// or compaction. Entries live in one contiguous synthetic address
+// range, modelling an SSTable block in memory.
+type run struct {
+	keys, vals [][]byte
+	tombs      []bool
+	base       uint64 // synthetic address of entry 0
+	trace      Tracer
+	// filter lets GETs skip runs that definitely lack a key, as
+	// RocksDB's per-SSTable Bloom filters do.
+	filter *bloom
+}
+
+func (r *run) touch(i int) {
+	if r.trace != nil {
+		r.trace(r.base+uint64(i)*entryHeader, entryHeader+len(r.keys[i]))
+	}
+}
+
+// find returns the index of the first key >= key.
+func (r *run) find(key []byte) int {
+	lo, hi := 0, len(r.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r.touch(mid)
+		if bytes.Compare(r.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Store is the ordered KV store.
+type Store struct {
+	cfg   Config
+	mem   *memtable
+	runs  []*run // newest first
+	rand  *rng.Rand
+	alloc uint64 // synthetic bump allocator for trace addresses
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	if cfg.MemtableBytes <= 0 {
+		cfg.MemtableBytes = defaultMemtB
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = defaultRuns
+	}
+	s := &Store{cfg: cfg, rand: rng.New(cfg.Seed), alloc: 64}
+	s.mem = newMemtable(s.rand.Split(), &s.alloc, cfg.Trace)
+	return s
+}
+
+// Put inserts or overwrites a key.
+func (s *Store) Put(key, val []byte) {
+	s.mem.put(key, val, false)
+	s.maybeFlush()
+}
+
+// Delete removes a key (tombstone semantics, as in an LSM tree).
+func (s *Store) Delete(key []byte) {
+	s.mem.put(key, nil, true)
+	s.maybeFlush()
+}
+
+// Get returns the value for key. The returned slice is owned by the
+// store and must not be modified.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	if n, ok := s.mem.get(key); ok {
+		if n.tomb {
+			return nil, false
+		}
+		return n.val, true
+	}
+	for _, r := range s.runs {
+		if r.filter != nil && !r.filter.mayContain(key) {
+			continue
+		}
+		i := r.find(key)
+		if i < len(r.keys) && bytes.Equal(r.keys[i], key) {
+			if r.tombs[i] {
+				return nil, false
+			}
+			return r.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+// Scan visits up to n live entries with key >= start in ascending key
+// order, calling fn for each; fn returning false stops early. It
+// returns the number of entries visited. The slices passed to fn are
+// owned by the store.
+func (s *Store) Scan(start []byte, n int, fn func(key, val []byte) bool) int {
+	it := s.newMergeIter(start)
+	visited := 0
+	for visited < n {
+		key, val, tomb, ok := it.next()
+		if !ok {
+			break
+		}
+		if tomb {
+			continue
+		}
+		visited++
+		if !fn(key, val) {
+			break
+		}
+	}
+	return visited
+}
+
+// Len returns the number of live keys. It is O(n) and intended for
+// tests and examples.
+func (s *Store) Len() int {
+	count := 0
+	s.Scan(nil, 1<<62, func(_, _ []byte) bool { count++; return true })
+	return count
+}
+
+// Flush forces the memtable into a sorted run.
+func (s *Store) Flush() {
+	if s.mem.count == 0 {
+		return
+	}
+	r := &run{base: 0, trace: s.cfg.Trace}
+	for n := s.mem.head.next[0]; n != nil; n = n.next[0] {
+		r.keys = append(r.keys, n.key)
+		r.vals = append(r.vals, n.val)
+		r.tombs = append(r.tombs, n.tomb)
+	}
+	s.alloc = (s.alloc + 63) &^ 63
+	r.base = s.alloc
+	s.alloc += uint64(len(r.keys)) * entryHeader
+	s.attachFilter(r)
+	s.runs = append([]*run{r}, s.runs...)
+	s.mem = newMemtable(s.rand.Split(), &s.alloc, s.cfg.Trace)
+	if len(s.runs) > s.cfg.MaxRuns {
+		s.compact()
+	}
+}
+
+// attachFilter builds the run's Bloom filter and reserves trace
+// address space for it.
+func (s *Store) attachFilter(r *run) {
+	s.alloc = (s.alloc + 63) &^ 63
+	f := newBloom(len(r.keys), s.alloc, s.cfg.Trace)
+	s.alloc += f.sizeBytes()
+	for _, k := range r.keys {
+		f.add(k)
+	}
+	r.filter = f
+}
+
+func (s *Store) maybeFlush() {
+	if s.mem.size >= s.cfg.MemtableBytes {
+		s.Flush()
+	}
+}
+
+// compact merges all runs into one, dropping shadowed versions and
+// tombstones (a full-merge compaction).
+func (s *Store) compact() {
+	it := s.newRunsIter(nil)
+	merged := &run{trace: s.cfg.Trace}
+	for {
+		key, val, tomb, ok := it.next()
+		if !ok {
+			break
+		}
+		if tomb {
+			continue // bottom level: tombstones can drop
+		}
+		merged.keys = append(merged.keys, key)
+		merged.vals = append(merged.vals, val)
+		merged.tombs = append(merged.tombs, false)
+	}
+	s.alloc = (s.alloc + 63) &^ 63
+	merged.base = s.alloc
+	s.alloc += uint64(len(merged.keys)) * entryHeader
+	s.attachFilter(merged)
+	s.runs = []*run{merged}
+}
+
+// Stats reports structural counters, useful in tests and examples.
+type Stats struct {
+	MemtableKeys  int
+	MemtableBytes int
+	Runs          int
+	RunEntries    int
+}
+
+// Stats returns current structural statistics.
+func (s *Store) Stats() Stats {
+	st := Stats{MemtableKeys: s.mem.count, MemtableBytes: s.mem.size, Runs: len(s.runs)}
+	for _, r := range s.runs {
+		st.RunEntries += len(r.keys)
+	}
+	return st
+}

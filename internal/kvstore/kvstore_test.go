@@ -1,0 +1,326 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%08d", i)) }
+
+func TestPutGet(t *testing.T) {
+	s := New(Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		s.Put(key(i), val(i))
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := s.Get(key(i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%s) = (%q,%v)", key(i), v, ok)
+		}
+	}
+	if _, ok := s.Get([]byte("missing")); ok {
+		t.Fatal("Get on missing key returned ok")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := New(Config{Seed: 1})
+	s.Put(key(1), val(1))
+	s.Put(key(1), []byte("new"))
+	v, ok := s.Get(key(1))
+	if !ok || string(v) != "new" {
+		t.Fatalf("overwrite lost: (%q,%v)", v, ok)
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(Config{Seed: 1})
+	s.Put(key(1), val(1))
+	s.Delete(key(1))
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if got := s.Len(); got != 0 {
+		t.Fatalf("Len = %d after delete, want 0", got)
+	}
+}
+
+func TestDeleteShadowsFlushedValue(t *testing.T) {
+	s := New(Config{Seed: 1})
+	s.Put(key(1), val(1))
+	s.Flush()
+	s.Delete(key(1))
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("tombstone did not shadow flushed value")
+	}
+	s.Flush()
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("tombstone did not survive flush")
+	}
+}
+
+func TestGetAcrossFlushes(t *testing.T) {
+	s := New(Config{Seed: 1})
+	for i := 0; i < 300; i++ {
+		s.Put(key(i), val(i))
+		if i%100 == 99 {
+			s.Flush()
+		}
+	}
+	for i := 0; i < 300; i++ {
+		v, ok := s.Get(key(i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%s) after flushes = (%q,%v)", key(i), v, ok)
+		}
+	}
+	if st := s.Stats(); st.Runs == 0 {
+		t.Fatal("no runs created despite explicit flushes")
+	}
+}
+
+func TestNewestVersionWinsAcrossRuns(t *testing.T) {
+	s := New(Config{Seed: 1})
+	s.Put(key(5), []byte("v1"))
+	s.Flush()
+	s.Put(key(5), []byte("v2"))
+	s.Flush()
+	s.Put(key(5), []byte("v3")) // memtable
+	v, ok := s.Get(key(5))
+	if !ok || string(v) != "v3" {
+		t.Fatalf("Get = (%q,%v), want v3", v, ok)
+	}
+	// And scan sees exactly one version.
+	count := 0
+	s.Scan(nil, 100, func(k, v []byte) bool {
+		count++
+		if string(v) != "v3" {
+			t.Fatalf("scan saw stale version %q", v)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("scan saw %d versions, want 1", count)
+	}
+}
+
+func TestScanOrderedAndBounded(t *testing.T) {
+	s := New(Config{Seed: 1})
+	for _, i := range []int{5, 3, 9, 1, 7, 2, 8, 0, 6, 4} {
+		s.Put(key(i), val(i))
+	}
+	s.Flush()
+	for _, i := range []int{15, 13, 11, 12, 14} {
+		s.Put(key(i), val(i))
+	}
+	var got []string
+	n := s.Scan(key(2), 8, func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if n != 8 {
+		t.Fatalf("Scan visited %d, want 8", n)
+	}
+	want := []string{"key-00000002", "key-00000003", "key-00000004", "key-00000005",
+		"key-00000006", "key-00000007", "key-00000008", "key-00000009"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan order: got %v", got)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := New(Config{Seed: 1})
+	for i := 0; i < 10; i++ {
+		s.Put(key(i), val(i))
+	}
+	seen := 0
+	s.Scan(nil, 100, func(_, _ []byte) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Fatalf("early stop saw %d, want 3", seen)
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	s := New(Config{Seed: 1, MaxRuns: 2, MemtableBytes: 1})
+	// MemtableBytes=1 flushes on every put, forcing compactions.
+	for i := 0; i < 50; i++ {
+		s.Put(key(i), val(i))
+	}
+	st := s.Stats()
+	if st.Runs > 3 {
+		t.Fatalf("compaction did not bound runs: %d", st.Runs)
+	}
+	for i := 0; i < 50; i++ {
+		v, ok := s.Get(key(i))
+		if !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("post-compaction Get(%s) = (%q,%v)", key(i), v, ok)
+		}
+	}
+}
+
+func TestCompactionDropsTombstones(t *testing.T) {
+	s := New(Config{Seed: 1, MaxRuns: 1, MemtableBytes: 1})
+	s.Put(key(1), val(1))
+	s.Delete(key(1))
+	s.Put(key(2), val(2)) // force flush+compact past MaxRuns
+	s.Put(key(3), val(3))
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("deleted key resurrected by compaction")
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+}
+
+func TestTraceEmitsAccesses(t *testing.T) {
+	var accesses int
+	var lastAddr uint64
+	s := New(Config{Seed: 1, Trace: func(addr uint64, size int) {
+		if size <= 0 {
+			t.Fatalf("trace access with size %d", size)
+		}
+		accesses++
+		lastAddr = addr
+	}})
+	for i := 0; i < 100; i++ {
+		s.Put(key(i), val(i))
+	}
+	s.Flush()
+	accesses = 0
+	s.Get(key(50))
+	if accesses == 0 {
+		t.Fatal("GET produced no trace accesses")
+	}
+	getAccesses := accesses
+	accesses = 0
+	s.Scan(key(0), 100, func(_, _ []byte) bool { return true })
+	if accesses <= getAccesses {
+		t.Fatalf("SCAN accesses (%d) not greater than GET accesses (%d)", accesses, getAccesses)
+	}
+	_ = lastAddr
+}
+
+func TestTraceAddressesDistinguishStructures(t *testing.T) {
+	// Run entries must be contiguous; skiplist nodes cache-line spaced.
+	addrs := map[uint64]bool{}
+	s := New(Config{Seed: 1, Trace: func(addr uint64, _ int) { addrs[addr] = true }})
+	for i := 0; i < 50; i++ {
+		s.Put(key(i), val(i))
+	}
+	s.Flush()
+	addrs = map[uint64]bool{}
+	s.Scan(nil, 50, func(_, _ []byte) bool { return true })
+	if len(addrs) < 25 {
+		t.Fatalf("scan touched only %d distinct addresses", len(addrs))
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		s := New(Config{Seed: seed, MemtableBytes: 2048, MaxRuns: 3})
+		oracle := map[string]string{}
+		for op := 0; op < 500; op++ {
+			k := fmt.Sprintf("k%03d", r.Intn(80))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", op)
+				s.Put([]byte(k), []byte(v))
+				oracle[k] = v
+			case 2:
+				s.Delete([]byte(k))
+				delete(oracle, k)
+			}
+		}
+		// Point queries.
+		for k, want := range oracle {
+			v, ok := s.Get([]byte(k))
+			if !ok || string(v) != want {
+				return false
+			}
+		}
+		// Full scan matches the sorted oracle.
+		var wantKeys []string
+		for k := range oracle {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		var gotKeys []string
+		s.Scan(nil, 1<<30, func(k, v []byte) bool {
+			gotKeys = append(gotKeys, string(k))
+			if oracle[string(k)] != string(v) {
+				gotKeys = append(gotKeys, "MISMATCH")
+			}
+			return true
+		})
+		if len(gotKeys) != len(wantKeys) {
+			return false
+		}
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	s := New(Config{Seed: 1})
+	for i := 0; i < 10; i++ {
+		s.Put(key(i), val(i))
+	}
+	st := s.Stats()
+	if st.MemtableKeys != 10 || st.MemtableBytes == 0 || st.Runs != 0 {
+		t.Fatalf("unexpected stats %+v", st)
+	}
+	s.Flush()
+	st = s.Stats()
+	if st.MemtableKeys != 0 || st.Runs != 1 || st.RunEntries != 10 {
+		t.Fatalf("post-flush stats %+v", st)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New(Config{Seed: 1})
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Put(key(i), val(i))
+	}
+	s.Flush()
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(key(r.Intn(n)))
+	}
+}
+
+func BenchmarkScan100(b *testing.B) {
+	s := New(Config{Seed: 1})
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s.Put(key(i), val(i))
+	}
+	s.Flush()
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(key(r.Intn(n-100)), 100, func(_, _ []byte) bool { return true })
+	}
+}

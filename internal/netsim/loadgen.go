@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Client is an open-loop UDP load generator in the style of the
+// paper's adapted Caladan client (§5.1): requests leave under a
+// Poisson process regardless of completions, and end-to-end latency is
+// measured from send to response receipt.
+type ClientConfig struct {
+	// Addr is the server address.
+	Addr *net.UDPAddr
+	// Rate is the offered load in requests/second.
+	Rate float64
+	// Duration is how long to generate load.
+	Duration time.Duration
+	// Drain is how long to wait for in-flight responses afterwards.
+	Drain time.Duration
+	// Seed drives arrival gaps and request selection.
+	Seed uint64
+	// Next produces each request's kind and payload. The payload is
+	// copied before sending, so it may be reused.
+	Next func(r *rng.Rand) (kind uint16, payload []byte)
+}
+
+// KindStats aggregates one request kind's outcomes.
+type KindStats struct {
+	Sent, Received uint64
+	// Latencies holds end-to-end durations in receive order.
+	Latencies []time.Duration
+}
+
+// Quantile returns the q-quantile latency (nearest rank); zero if no
+// responses arrived.
+func (k *KindStats) Quantile(q float64) time.Duration {
+	if len(k.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), k.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Report is the outcome of one client run.
+type Report struct {
+	PerKind map[uint16]*KindStats
+}
+
+// Kind returns (allocating if needed) the stats bucket for a kind.
+func (r *Report) Kind(k uint16) *KindStats {
+	s := r.PerKind[k]
+	if s == nil {
+		s = &KindStats{}
+		r.PerKind[k] = s
+	}
+	return s
+}
+
+// RunClient generates load against cfg.Addr and returns the report.
+func RunClient(cfg ClientConfig) (*Report, error) {
+	if cfg.Rate <= 0 || cfg.Duration <= 0 || cfg.Next == nil {
+		panic("netsim: invalid client configuration")
+	}
+	conn, err := net.DialUDP("udp", nil, cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	report := &Report{PerKind: map[uint16]*KindStats{}}
+	var mu sync.Mutex
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 2048)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+			n, err := conn.Read(buf)
+			if err != nil {
+				continue
+			}
+			resp, err := DecodeResponse(buf[:n])
+			if err != nil {
+				continue
+			}
+			e2e := time.Duration(time.Now().UnixNano() - resp.SentNs)
+			mu.Lock()
+			ks := report.Kind(resp.Kind)
+			ks.Received++
+			ks.Latencies = append(ks.Latencies, e2e)
+			mu.Unlock()
+		}
+	}()
+
+	r := rng.New(cfg.Seed)
+	meanGap := float64(time.Second) / cfg.Rate
+	deadline := time.Now().Add(cfg.Duration)
+	next := time.Now()
+	var id uint64
+	var pkt []byte
+	for time.Now().Before(deadline) {
+		next = next.Add(time.Duration(r.Exp(meanGap)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		kind, payload := cfg.Next(r)
+		id++
+		req := Request{ID: id, SentNs: time.Now().UnixNano(), Kind: kind, Payload: payload}
+		pkt = EncodeRequest(pkt[:0], &req)
+		if _, err := conn.Write(pkt); err != nil {
+			continue
+		}
+		mu.Lock()
+		report.Kind(kind).Sent++
+		mu.Unlock()
+	}
+	if cfg.Drain > 0 {
+		time.Sleep(cfg.Drain)
+	}
+	close(done)
+	wg.Wait()
+	return report, nil
+}

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// echoServer replies to every request with a matching response.
+func echoServer(t *testing.T) (*net.UDPAddr, func()) {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 2048)
+		var out []byte
+		for {
+			n, client, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			req, err := DecodeRequest(buf[:n])
+			if err != nil {
+				continue
+			}
+			resp := Response{ID: req.ID, SentNs: req.SentNs, Kind: req.Kind, ServerNs: 1}
+			out = EncodeResponse(out[:0], &resp)
+			conn.WriteToUDP(out, client)
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr), func() {
+		conn.Close()
+		wg.Wait()
+	}
+}
+
+func TestRunClientAgainstEcho(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	report, err := RunClient(ClientConfig{
+		Addr:     addr,
+		Rate:     2000,
+		Duration: 300 * time.Millisecond,
+		Drain:    100 * time.Millisecond,
+		Seed:     1,
+		Next: func(r *rng.Rand) (uint16, []byte) {
+			if r.Float64() < 0.2 {
+				return 2, []byte("scan")
+			}
+			return 1, []byte("get0")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get, scan := report.Kind(1), report.Kind(2)
+	if get.Sent == 0 || scan.Sent == 0 {
+		t.Fatalf("sent: get=%d scan=%d", get.Sent, scan.Sent)
+	}
+	// Loopback echo should return nearly everything.
+	total := get.Sent + scan.Sent
+	recvd := get.Received + scan.Received
+	if recvd < total*8/10 {
+		t.Fatalf("received %d of %d", recvd, total)
+	}
+	if get.Quantile(0.5) <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	if get.Quantile(0.99) < get.Quantile(0.5) {
+		t.Fatal("p99 below p50")
+	}
+}
+
+func TestKindStatsQuantileEmpty(t *testing.T) {
+	var ks KindStats
+	if ks.Quantile(0.99) != 0 {
+		t.Fatal("empty stats quantile not zero")
+	}
+}
+
+func TestRunClientInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	RunClient(ClientConfig{Rate: 0})
+}

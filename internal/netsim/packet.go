@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The wire format is a minimal fixed-header UDP payload, modelled on
+// the open-loop load generator the paper adapts from Caladan (§5.1):
+// clients stamp an ID and send time; servers echo them so clients can
+// compute end-to-end latency.
+
+// HeaderSize is the encoded size of a request/response header in bytes.
+const HeaderSize = 28
+
+// Magic guards against parsing stray datagrams.
+const Magic uint32 = 0x7159_0001 // "tq" v1
+
+// Request is a client request header.
+type Request struct {
+	ID      uint64 // client-assigned, echoed in the response
+	SentNs  int64  // client monotonic send time, echoed
+	Kind    uint16 // workload-specific operation code
+	Payload []byte // operation payload (e.g. key bytes)
+}
+
+// Response is a server reply header.
+type Response struct {
+	ID       uint64
+	SentNs   int64 // echoed from the request
+	ServerNs int64 // server-side sojourn in ns
+	Kind     uint16
+}
+
+// ErrShortPacket is returned when a datagram is shorter than a header.
+var ErrShortPacket = errors.New("netsim: short packet")
+
+// ErrBadMagic is returned when a datagram does not carry the magic.
+var ErrBadMagic = errors.New("netsim: bad magic")
+
+// EncodeRequest appends the encoded request to buf and returns it.
+func EncodeRequest(buf []byte, r *Request) []byte {
+	var h [HeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:], Magic)
+	binary.LittleEndian.PutUint64(h[4:], r.ID)
+	binary.LittleEndian.PutUint64(h[12:], uint64(r.SentNs))
+	binary.LittleEndian.PutUint16(h[20:], r.Kind)
+	binary.LittleEndian.PutUint32(h[22:], uint32(len(r.Payload)))
+	// h[26:28] reserved.
+	buf = append(buf, h[:]...)
+	return append(buf, r.Payload...)
+}
+
+// DecodeRequest parses a request from pkt. The returned payload aliases
+// pkt.
+func DecodeRequest(pkt []byte) (Request, error) {
+	if len(pkt) < HeaderSize {
+		return Request{}, ErrShortPacket
+	}
+	if binary.LittleEndian.Uint32(pkt[0:]) != Magic {
+		return Request{}, ErrBadMagic
+	}
+	r := Request{
+		ID:     binary.LittleEndian.Uint64(pkt[4:]),
+		SentNs: int64(binary.LittleEndian.Uint64(pkt[12:])),
+		Kind:   binary.LittleEndian.Uint16(pkt[20:]),
+	}
+	n := int(binary.LittleEndian.Uint32(pkt[22:]))
+	if len(pkt)-HeaderSize < n {
+		return Request{}, fmt.Errorf("netsim: payload length %d exceeds packet (%w)", n, ErrShortPacket)
+	}
+	r.Payload = pkt[HeaderSize : HeaderSize+n]
+	return r, nil
+}
+
+// EncodeResponse appends the encoded response to buf and returns it.
+func EncodeResponse(buf []byte, r *Response) []byte {
+	var h [HeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:], Magic)
+	binary.LittleEndian.PutUint64(h[4:], r.ID)
+	binary.LittleEndian.PutUint64(h[12:], uint64(r.SentNs))
+	binary.LittleEndian.PutUint16(h[20:], r.Kind)
+	binary.LittleEndian.PutUint32(h[22:], uint32(uint64(r.ServerNs)&0xffffffff))
+	return append(buf, h[:]...)
+}
+
+// DecodeResponse parses a response from pkt.
+func DecodeResponse(pkt []byte) (Response, error) {
+	if len(pkt) < HeaderSize {
+		return Response{}, ErrShortPacket
+	}
+	if binary.LittleEndian.Uint32(pkt[0:]) != Magic {
+		return Response{}, ErrBadMagic
+	}
+	return Response{
+		ID:       binary.LittleEndian.Uint64(pkt[4:]),
+		SentNs:   int64(binary.LittleEndian.Uint64(pkt[12:])),
+		Kind:     binary.LittleEndian.Uint16(pkt[20:]),
+		ServerNs: int64(binary.LittleEndian.Uint32(pkt[22:])),
+	}, nil
+}
+
+// BufferPool recycles packet buffers between the dispatcher (single
+// consumer, allocating for RX) and worker cores (multiple producers,
+// releasing parsed buffers) — §4's multi-producer single-consumer
+// memory pool.
+type BufferPool struct {
+	ring *MPSC[[]byte]
+	size int
+}
+
+// NewBufferPool returns a pool of count pre-allocated size-byte
+// buffers. count must be a power of two.
+func NewBufferPool(count, size int) *BufferPool {
+	p := &BufferPool{ring: NewMPSC[[]byte](count), size: size}
+	for i := 0; i < count-1; i++ {
+		// One slot is kept free: a Vyukov ring of capacity n holds at
+		// most n elements, and we want Release after full drain to
+		// always succeed, so leave headroom of one.
+		p.ring.Push(make([]byte, size))
+	}
+	return p
+}
+
+// Get returns a buffer, allocating if the pool is transiently empty
+// (dispatcher-side, single consumer).
+func (p *BufferPool) Get() []byte {
+	if b, ok := p.ring.Pop(); ok {
+		return b[:p.size]
+	}
+	return make([]byte, p.size)
+}
+
+// Release returns a buffer to the pool (worker-side, multi-producer).
+// Buffers are dropped if the pool is full; the GC reclaims them.
+func (p *BufferPool) Release(b []byte) {
+	if cap(b) < p.size {
+		return
+	}
+	p.ring.Push(b[:p.size])
+}

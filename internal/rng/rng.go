@@ -1,0 +1,133 @@
+// Package rng provides fast, deterministic pseudo-random number
+// generation and the samplers used by the Tiny Quanta workloads and
+// simulators.
+//
+// Every experiment in this repository is seeded explicitly so that runs
+// are reproducible; the generators here are pure value types with no
+// global state. The core generator is xoshiro256**, seeded through
+// SplitMix64 as its authors recommend.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next value.
+// It is used only to expand a single seed word into the four xoshiro
+// state words.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** pseudo-random generator. The zero value is not
+// valid; construct one with New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed. Two generators
+// built from the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the stream identified by seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// Guard against the (astronomically unlikely via SplitMix64, but
+	// cheap to exclude) all-zero state, which is a fixed point.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	threshold := -n % n
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// The mean must be positive.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp called with non-positive mean")
+	}
+	// Uniform in (0, 1]: avoids log(0).
+	u := 1.0 - r.Float64()
+	return -mean * math.Log(u)
+}
+
+// Perm fills p with a uniform random permutation of [0, len(p)) using
+// the inside-out Fisher-Yates shuffle.
+func (r *Rand) Perm(p []int) {
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, as in the standard library.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split returns a new generator whose stream is independent of r's
+// subsequent output. It is used to give each simulated component its
+// own stream so that adding a component does not perturb the others.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}

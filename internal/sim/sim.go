@@ -1,0 +1,198 @@
+// Package sim is a discrete-event simulation engine with an int64
+// nanosecond virtual clock. It is the substrate under every scheduling
+// experiment in this repository: the Tiny Quanta machine models, the
+// Shinjuku and Caladan baselines, and the motivation simulations of §2.
+//
+// Events scheduled for the same instant fire in scheduling order
+// (FIFO), which keeps runs deterministic: the same seed always yields
+// the same trajectory.
+package sim
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations, in ns.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Micros converts a duration in (possibly fractional) microseconds to a
+// Time, rounding to the nearest nanosecond.
+func Micros(us float64) Time {
+	return Time(us*1000 + 0.5)
+}
+
+// Seconds converts t to fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to fractional microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// event is a scheduled callback. seq breaks ties so that events at the
+// same instant run in the order they were scheduled.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Engine runs events in timestamp order. The zero value is ready to
+// use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	heap   []event
+	halted bool
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it always indicates a model bug.
+func (e *Engine) At(at Time, fn func()) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+d, fn)
+}
+
+// Halt stops the run loop after the current event returns. Pending
+// events remain queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Run executes events until the queue is empty or Halt is called. It
+// returns the final virtual time.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for len(e.heap) > 0 && !e.halted {
+		ev := e.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline (or until Halt),
+// then advances the clock to the deadline. Events beyond the deadline
+// stay queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
+	for len(e.heap) > 0 && !e.halted && e.heap[0].at <= deadline {
+		ev := e.pop()
+		e.now = ev.at
+		ev.fn()
+	}
+	if !e.halted && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// The event queue is a 4-ary min-heap ordered by (at, seq): 4-ary heaps
+// trade slightly more comparisons per level for half the levels, which
+// measures faster than a binary heap for the tens of millions of events
+// a single load-sweep point generates.
+
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.heap[i], &e.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(e.heap) {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > len(e.heap) {
+			end = len(e.heap)
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(c, min) {
+				min = c
+			}
+		}
+		if !e.less(min, i) {
+			break
+		}
+		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
+		i = min
+	}
+	return top
+}
+
+// Ticker invokes fn every period ns starting at the next period
+// boundary, until Stop is called or the engine drains. It models the
+// polling loops in the system (e.g. the dispatcher reading worker
+// counters).
+type Ticker struct {
+	e       *Engine
+	period  Time
+	stopped bool
+}
+
+// NewTicker starts a ticker on e with the given period (> 0).
+func NewTicker(e *Engine, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{e: e, period: period}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn()
+		if !t.stopped {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+	return t
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() { t.stopped = true }

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRunsInTimestampOrder(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{30, 10, 20, 5, 25} {
+		at := at
+		e.At(at, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{5, 10, 20, 25, 30}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d ran at %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var fired Time = -1
+	e.At(50, func() {
+		e.After(25, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 75 {
+		t.Fatalf("After fired at %d, want 75", fired)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Halt, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d after halt, want 7", e.Pending())
+	}
+}
+
+func TestRunUntilRespectsDeadline(t *testing.T) {
+	e := New()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	end := e.RunUntil(25)
+	if end != 25 {
+		t.Fatalf("RunUntil returned %d, want 25", end)
+	}
+	if len(ran) != 2 || ran[0] != 10 || ran[1] != 20 {
+		t.Fatalf("RunUntil ran %v, want [10 20]", ran)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	// Resuming processes the remainder.
+	e.Run()
+	if len(ran) != 4 {
+		t.Fatalf("resume ran %v", ran)
+	}
+}
+
+func TestRunReturnsFinalTime(t *testing.T) {
+	e := New()
+	e.At(123, func() {})
+	if end := e.Run(); end != 123 {
+		t.Fatalf("Run returned %d, want 123", end)
+	}
+}
+
+func TestHeapOrderProperty(t *testing.T) {
+	// Property: any multiset of timestamps is drained in sorted order.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		e := New()
+		n := 200
+		want := make([]Time, n)
+		var got []Time
+		for i := 0; i < n; i++ {
+			at := Time(r.Uint64n(1000))
+			want[i] = at
+			e.At(at, func() { got = append(got, e.Now()) })
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		e.Run()
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerPeriodAndStop(t *testing.T) {
+	e := New()
+	var ticks []Time
+	var tk *Ticker
+	tk = NewTicker(e, 10, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 4 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	want := []Time{10, 20, 30, 40}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerInvalidPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ticker period did not panic")
+		}
+	}()
+	NewTicker(New(), 0, func() {})
+}
+
+func TestMicrosConversion(t *testing.T) {
+	if got := Micros(2.5); got != 2500 {
+		t.Fatalf("Micros(2.5) = %d, want 2500", got)
+	}
+	if got := Micros(0.0005); got != 1 {
+		t.Fatalf("Micros(0.0005) = %d, want 1 (rounded)", got)
+	}
+	if got := (2500 * Nanosecond).Micros(); got != 2.5 {
+		t.Fatalf("Time.Micros = %v, want 2.5", got)
+	}
+	if got := Second.Seconds(); got != 1 {
+		t.Fatalf("Second.Seconds = %v, want 1", got)
+	}
+}
+
+func BenchmarkEngineChurn(b *testing.B) {
+	// Measures push/pop throughput with a live queue of 1024 events,
+	// the regime the scheduling simulations operate in.
+	e := New()
+	r := rng.New(1)
+	depth := 1024
+	var fn func()
+	fn = func() {
+		e.After(Time(r.Uint64n(1000)+1), fn)
+	}
+	for i := 0; i < depth; i++ {
+		e.After(Time(r.Uint64n(1000)+1), fn)
+	}
+	b.ResetTimer()
+	count := 0
+	target := b.N
+	e2 := e
+	for count < target {
+		ev := e2.pop()
+		e2.now = ev.at
+		ev.fn()
+		count++
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+// P2Quantile is the Jain-Chlamtac P² streaming estimator of a single
+// quantile: O(1) memory regardless of stream length. The simulator's
+// default accounting keeps exact samples (Sample); P² is for very long
+// live-runtime runs where storing every latency is unreasonable.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64 // marker positions (1-based)
+	want    [5]float64 // desired positions
+	inc     [5]float64 // desired-position increments
+	initial []float64
+}
+
+// NewP2Quantile estimates the p-quantile (0 < p < 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0, 1)")
+	}
+	q := &P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Add incorporates one observation.
+func (q *P2Quantile) Add(v float64) {
+	q.n++
+	if q.n <= 5 {
+		q.initial = append(q.initial, v)
+		if q.n == 5 {
+			// Sort the five seeds and initialize markers.
+			for i := 1; i < 5; i++ {
+				for j := i; j > 0 && q.initial[j] < q.initial[j-1]; j-- {
+					q.initial[j], q.initial[j-1] = q.initial[j-1], q.initial[j]
+				}
+			}
+			copy(q.heights[:], q.initial)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Find the cell k containing v and clamp extremes.
+	var k int
+	switch {
+	case v < q.heights[0]:
+		q.heights[0] = v
+		k = 0
+	case v >= q.heights[4]:
+		q.heights[4] = v
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if v < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.inc[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current estimate. With fewer than five
+// observations it falls back to the exact order statistic.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if q.n < 5 {
+		s := append([]float64(nil), q.initial...)
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		idx := int(q.p * float64(len(s)))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return q.heights[2]
+}
+
+// Count reports the number of observations.
+func (q *P2Quantile) Count() int { return q.n }

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestP2MedianUniform(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	r := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		q.Add(r.Float64() * 100)
+	}
+	if got := q.Value(); math.Abs(got-50) > 2 {
+		t.Fatalf("P2 median of U(0,100) = %v, want ≈50", got)
+	}
+}
+
+func TestP2TailQuantileExponential(t *testing.T) {
+	// p99 of Exp(mean=1) is -ln(0.01) ≈ 4.605.
+	q := NewP2Quantile(0.99)
+	r := rng.New(2)
+	for i := 0; i < 200000; i++ {
+		q.Add(r.Exp(1))
+	}
+	want := -math.Log(0.01)
+	if got := q.Value(); math.Abs(got-want) > want*0.1 {
+		t.Fatalf("P2 p99 of Exp(1) = %v, want ≈%v", got, want)
+	}
+}
+
+func TestP2AgreesWithExactSample(t *testing.T) {
+	p2 := NewP2Quantile(0.9)
+	exact := NewSample(50000)
+	r := rng.New(3)
+	for i := 0; i < 50000; i++ {
+		// A lumpy distribution: mixture of two uniforms.
+		v := r.Float64() * 10
+		if r.Float64() < 0.2 {
+			v = 100 + r.Float64()*50
+		}
+		p2.Add(v)
+		exact.Add(v)
+	}
+	want := exact.Quantile(0.9)
+	got := p2.Value()
+	if math.Abs(got-want) > want*0.15 {
+		t.Fatalf("P2 p90 %v vs exact %v", got, want)
+	}
+}
+
+func TestP2SmallStreams(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Fatal("empty estimator not zero")
+	}
+	q.Add(7)
+	if q.Value() != 7 {
+		t.Fatalf("single value = %v", q.Value())
+	}
+	q.Add(1)
+	q.Add(9)
+	// Exact median of {1,7,9} with idx = floor(0.5*3) = 1 -> 7.
+	if q.Value() != 7 {
+		t.Fatalf("3-value median = %v, want 7", q.Value())
+	}
+	if q.Count() != 3 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+}
+
+func TestP2MonotoneStream(t *testing.T) {
+	q := NewP2Quantile(0.999)
+	for i := 1; i <= 10000; i++ {
+		q.Add(float64(i))
+	}
+	got := q.Value()
+	if got < 9600 || got > 10000 {
+		t.Fatalf("p99.9 of 1..10000 = %v, want ≈9990", got)
+	}
+}
+
+func TestP2InvalidQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}
+
+func BenchmarkP2Add(b *testing.B) {
+	q := NewP2Quantile(0.999)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Add(r.Exp(1))
+	}
+}

@@ -1,0 +1,187 @@
+// Package trace records scheduling timelines from the simulated
+// machines: per-job lifecycle events (arrival, dispatch, quanta,
+// completion) that can be dumped as chrome://tracing JSON to inspect
+// how quanta interleave on workers — the visual counterpart of the
+// paper's Figure 3 pipeline.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Kind labels one lifecycle event.
+type Kind uint8
+
+// Event kinds, in per-job lifecycle order.
+const (
+	// Arrive: the request hit the NIC.
+	Arrive Kind = iota
+	// Dispatch: the dispatcher forwarded it to a worker.
+	Dispatch
+	// QuantumStart: a worker began executing one quantum of the job.
+	QuantumStart
+	// QuantumEnd: the quantum ended (yield or completion).
+	QuantumEnd
+	// Finish: the job completed and its response left the worker.
+	Finish
+	// Drop: the request was dropped at a saturated RX queue.
+	Drop
+)
+
+var kindNames = [...]string{"arrive", "dispatch", "qstart", "qend", "finish", "drop"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	T      sim.Time
+	Kind   Kind
+	Job    uint64
+	Class  int
+	Worker int // -1 when not yet placed
+}
+
+// Recorder accumulates events up to a cap (0 = 1<<20). The zero value
+// is ready to use.
+type Recorder struct {
+	Max    int
+	events []Event
+}
+
+// Emit appends an event; once Max is reached further events are
+// silently discarded (the recorder is a debugging aid, not a metric).
+func (r *Recorder) Emit(e Event) {
+	max := r.Max
+	if max == 0 {
+		max = 1 << 20
+	}
+	if len(r.events) < max {
+		r.events = append(r.events, e)
+	}
+}
+
+// Events returns the recorded events in emission order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// chromeEvent is the Trace Event Format's "complete" (X) or "instant"
+// (i) record.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"` // µs
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+}
+
+// WriteChrome renders the timeline as chrome://tracing / Perfetto
+// JSON: each worker becomes a thread whose quantum executions are
+// duration events named by job; arrivals and completions are instant
+// events.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	var out []chromeEvent
+	// Pair QuantumStart/QuantumEnd per worker (they strictly nest:
+	// one quantum at a time per worker).
+	open := map[int]Event{}
+	for _, e := range r.events {
+		switch e.Kind {
+		case QuantumStart:
+			open[e.Worker] = e
+		case QuantumEnd:
+			if s, ok := open[e.Worker]; ok && s.Job == e.Job {
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("job %d (class %d)", e.Job, e.Class),
+					Cat:  "quantum",
+					Ph:   "X",
+					Ts:   s.T.Micros(),
+					Dur:  e.T.Micros() - s.T.Micros(),
+					Pid:  1,
+					Tid:  e.Worker + 1,
+				})
+				delete(open, e.Worker)
+			}
+		case Arrive, Dispatch, Finish, Drop:
+			tid := e.Worker + 1
+			if e.Worker < 0 {
+				tid = 0 // dispatcher lane
+			}
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("%s job %d", e.Kind, e.Job),
+				Cat:  "lifecycle",
+				Ph:   "i",
+				Ts:   e.T.Micros(),
+				Pid:  1,
+				Tid:  tid,
+				S:    "t",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// Validate checks per-job lifecycle ordering: arrive <= dispatch <=
+// first quantum, quanta strictly ordered, finish last. It returns the
+// first violation found, or nil — used by tests as a machine-model
+// invariant.
+func (r *Recorder) Validate() error {
+	type jobState struct {
+		last  Kind
+		lastT sim.Time
+	}
+	jobs := map[uint64]*jobState{}
+	for i, e := range r.events {
+		js := jobs[e.Job]
+		if js == nil {
+			if e.Kind != Arrive {
+				return fmt.Errorf("event %d: job %d starts with %v, want arrive", i, e.Job, e.Kind)
+			}
+			jobs[e.Job] = &jobState{last: Arrive, lastT: e.T}
+			continue
+		}
+		if e.T < js.lastT {
+			return fmt.Errorf("event %d: job %d time went backwards (%d < %d)", i, e.Job, e.T, js.lastT)
+		}
+		switch e.Kind {
+		case Arrive:
+			return fmt.Errorf("event %d: job %d arrived twice", i, e.Job)
+		case Dispatch:
+			if js.last != Arrive {
+				return fmt.Errorf("event %d: job %d dispatched after %v", i, e.Job, js.last)
+			}
+		case QuantumStart:
+			if js.last != Dispatch && js.last != QuantumEnd {
+				return fmt.Errorf("event %d: job %d quantum started after %v", i, e.Job, js.last)
+			}
+		case QuantumEnd:
+			if js.last != QuantumStart {
+				return fmt.Errorf("event %d: job %d quantum ended after %v", i, e.Job, js.last)
+			}
+		case Finish:
+			if js.last != QuantumEnd {
+				return fmt.Errorf("event %d: job %d finished after %v", i, e.Job, js.last)
+			}
+		case Drop:
+			if js.last != Arrive {
+				return fmt.Errorf("event %d: job %d dropped after %v", i, e.Job, js.last)
+			}
+		}
+		js.last = e.Kind
+		js.lastT = e.T
+	}
+	return nil
+}

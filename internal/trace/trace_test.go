@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func lifecycle(job uint64, worker int, times ...int64) []Event {
+	kinds := []Kind{Arrive, Dispatch, QuantumStart, QuantumEnd, Finish}
+	var out []Event
+	for i, t := range times {
+		w := worker
+		if kinds[i] == Arrive {
+			w = -1
+		}
+		out = append(out, Event{T: sim.Time(t), Kind: kinds[i], Job: job, Worker: w})
+	}
+	return out
+}
+
+func TestRecorderCapsEvents(t *testing.T) {
+	r := Recorder{Max: 3}
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{T: sim.Time(i), Kind: Arrive, Job: uint64(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (capped)", r.Len())
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	var r Recorder
+	for _, e := range lifecycle(1, 0, 0, 10, 20, 30, 30) {
+		r.Emit(e)
+	}
+	// Interleave a second job with two quanta.
+	r.Emit(Event{T: sim.Time(5), Kind: Arrive, Job: 2, Worker: -1})
+	r.Emit(Event{T: sim.Time(12), Kind: Dispatch, Job: 2, Worker: 1})
+	r.Emit(Event{T: sim.Time(15), Kind: QuantumStart, Job: 2, Worker: 1})
+	r.Emit(Event{T: sim.Time(17), Kind: QuantumEnd, Job: 2, Worker: 1})
+	r.Emit(Event{T: sim.Time(22), Kind: QuantumStart, Job: 2, Worker: 1})
+	r.Emit(Event{T: sim.Time(25), Kind: QuantumEnd, Job: 2, Worker: 1})
+	r.Emit(Event{T: sim.Time(25), Kind: Finish, Job: 2, Worker: 1})
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	cases := map[string][]Event{
+		"starts without arrive": {
+			{T: sim.Time(0), Kind: Dispatch, Job: 1},
+		},
+		"double arrive": {
+			{T: sim.Time(0), Kind: Arrive, Job: 1},
+			{T: sim.Time(1), Kind: Arrive, Job: 1},
+		},
+		"quantum before dispatch": {
+			{T: sim.Time(0), Kind: Arrive, Job: 1},
+			{T: sim.Time(1), Kind: QuantumStart, Job: 1},
+		},
+		"finish before quantum end": {
+			{T: sim.Time(0), Kind: Arrive, Job: 1},
+			{T: sim.Time(1), Kind: Dispatch, Job: 1},
+			{T: sim.Time(2), Kind: QuantumStart, Job: 1},
+			{T: sim.Time(3), Kind: Finish, Job: 1},
+		},
+		"time backwards": {
+			{T: sim.Time(5), Kind: Arrive, Job: 1},
+			{T: sim.Time(3), Kind: Dispatch, Job: 1},
+		},
+		"drop after dispatch": {
+			{T: sim.Time(0), Kind: Arrive, Job: 1},
+			{T: sim.Time(1), Kind: Dispatch, Job: 1},
+			{T: sim.Time(2), Kind: Drop, Job: 1},
+		},
+	}
+	for name, evs := range cases {
+		var r Recorder
+		for _, e := range evs {
+			r.Emit(e)
+		}
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid trace", name)
+		}
+	}
+}
+
+func TestWriteChromeProducesValidJSON(t *testing.T) {
+	var r Recorder
+	for _, e := range lifecycle(1, 0, 0, 1000, 2000, 4000, 4000) {
+		r.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	// One duration event (the quantum) plus three instants.
+	var durs, instants int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			durs++
+		case "i":
+			instants++
+		}
+	}
+	if durs != 1 || instants != 3 {
+		t.Fatalf("got %d duration and %d instant events, want 1 and 3:\n%s", durs, instants, buf.String())
+	}
+	if !strings.Contains(buf.String(), "quantum") {
+		t.Fatal("missing quantum category")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{Arrive: "arrive", Dispatch: "dispatch", QuantumStart: "qstart",
+		QuantumEnd: "qend", Finish: "finish", Drop: "drop"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package workload defines the µs-scale workloads evaluated in the
+// Tiny Quanta paper (Table 1) and the open-loop Poisson request
+// generator used by all experiments (§5.1).
+//
+// A workload is a distribution over request classes; each class has a
+// deterministic service time and a name so experiments can report
+// per-class tail latency (e.g. "Short" vs "Long" in the bimodal plots).
+// The Exp(1) workload instead draws exponentially distributed service
+// times and has a single class.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Class identifies a request type within a workload; it indexes
+// per-class latency accounting.
+type Class int
+
+// Request is one unit of work presented to a scheduling system.
+type Request struct {
+	// ID is unique within a run, assigned in arrival order.
+	ID uint64
+	// Class indexes the workload's class table.
+	Class Class
+	// Service is the job's total CPU demand. Blind schedulers must not
+	// read this field to make decisions; it is consumed only by the
+	// simulated execution of the job and by slowdown accounting.
+	Service sim.Time
+	// Arrival is the time the request hit the server's NIC.
+	Arrival sim.Time
+}
+
+// ClassInfo describes one request class.
+type ClassInfo struct {
+	Name    string
+	Service sim.Time // 0 for stochastic classes (Exp)
+	Ratio   float64  // fraction of requests in this class
+}
+
+// Workload is a named distribution over request classes.
+type Workload struct {
+	Name    string
+	Classes []ClassInfo
+	// cumulative selection thresholds, parallel to Classes.
+	cum []float64
+	// expMean, if nonzero, makes every class's service time
+	// exponentially distributed with this mean (used by Exp(1)).
+	expMean sim.Time
+	// trace, if non-empty, makes Sample draw service times uniformly
+	// from it (empirical distribution).
+	trace []sim.Time
+}
+
+// New builds a workload from class definitions. Ratios must be positive
+// and sum to 1 (within 1e-9).
+func New(name string, classes []ClassInfo) *Workload {
+	w := &Workload{Name: name, Classes: classes}
+	total := 0.0
+	for _, c := range classes {
+		if c.Ratio <= 0 {
+			panic(fmt.Sprintf("workload %s: class %s has non-positive ratio", name, c.Name))
+		}
+		total += c.Ratio
+		w.cum = append(w.cum, total)
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		panic(fmt.Sprintf("workload %s: ratios sum to %v, want 1", name, total))
+	}
+	w.cum[len(w.cum)-1] = 1 // absorb rounding
+	return w
+}
+
+// MeanService returns the expected service time of one request.
+func (w *Workload) MeanService() sim.Time {
+	if w.expMean != 0 {
+		return w.expMean
+	}
+	mean := 0.0
+	for _, c := range w.Classes {
+		mean += c.Ratio * float64(c.Service)
+	}
+	return sim.Time(mean + 0.5)
+}
+
+// MaxLoad returns the arrival rate (requests/second) that saturates n
+// cores, i.e. n / E[S]. Experiments sweep load as a fraction of this.
+func (w *Workload) MaxLoad(cores int) float64 {
+	return float64(cores) / w.MeanService().Seconds()
+}
+
+// Sample draws one request (without ID or arrival time) from the
+// workload using r.
+func (w *Workload) Sample(r *rng.Rand) Request {
+	u := r.Float64()
+	cls := 0
+	for cls < len(w.cum)-1 && u >= w.cum[cls] {
+		cls++
+	}
+	svc := w.Classes[cls].Service
+	switch {
+	case len(w.trace) > 0:
+		svc = w.trace[r.Intn(len(w.trace))]
+	case w.expMean != 0:
+		svc = sim.Time(r.Exp(float64(w.expMean)) + 0.5)
+		if svc < 1 {
+			svc = 1 // a job needs at least 1ns of work
+		}
+	}
+	return Request{Class: Class(cls), Service: svc}
+}
+
+// DispersionRatio returns the ratio between the longest and shortest
+// class service times (the paper quotes 1000 for Extreme Bimodal).
+func (w *Workload) DispersionRatio() float64 {
+	if len(w.Classes) < 2 || w.expMean != 0 {
+		return 1
+	}
+	min, max := w.Classes[0].Service, w.Classes[0].Service
+	for _, c := range w.Classes[1:] {
+		if c.Service < min {
+			min = c.Service
+		}
+		if c.Service > max {
+			max = c.Service
+		}
+	}
+	return float64(max) / float64(min)
+}
+
+// The workloads of Table 1. The §2 motivation simulations use the
+// round 0.5µs/500µs variant (Section2Bimodal); the system evaluation
+// uses the measured 0.3µs/509µs variant.
+
+// ExtremeBimodal is Table 1's Extreme Bimodal workload: 99.5% short
+// (0.3µs) and 0.5% long (509µs) requests — dispersion ratio ≈1700.
+func ExtremeBimodal() *Workload {
+	return New("ExtremeBimodal", []ClassInfo{
+		{Name: "Short", Service: sim.Micros(0.3), Ratio: 0.995},
+		{Name: "Long", Service: sim.Micros(509), Ratio: 0.005},
+	})
+}
+
+// Section2Bimodal is the idealized extreme bimodal mix used by the §2
+// motivation simulations (Figures 1, 2, 4): 99.5% × 0.5µs, 0.5% × 500µs.
+func Section2Bimodal() *Workload {
+	return New("Section2Bimodal", []ClassInfo{
+		{Name: "Short", Service: sim.Micros(0.5), Ratio: 0.995},
+		{Name: "Long", Service: sim.Micros(500), Ratio: 0.005},
+	})
+}
+
+// HighBimodal is Table 1's High Bimodal workload: 50% × 1µs, 50% ×
+// 100µs.
+func HighBimodal() *Workload {
+	return New("HighBimodal", []ClassInfo{
+		{Name: "Short", Service: sim.Micros(1), Ratio: 0.5},
+		{Name: "Long", Service: sim.Micros(100), Ratio: 0.5},
+	})
+}
+
+// TPCC is Table 1's TPC-C transaction mix.
+func TPCC() *Workload {
+	return New("TPCC", []ClassInfo{
+		{Name: "Payment", Service: sim.Micros(5.7), Ratio: 0.44},
+		{Name: "OrderStatus", Service: sim.Micros(6), Ratio: 0.04},
+		{Name: "NewOrder", Service: sim.Micros(20), Ratio: 0.44},
+		{Name: "Delivery", Service: sim.Micros(88), Ratio: 0.04},
+		{Name: "StockLevel", Service: sim.Micros(100), Ratio: 0.04},
+	})
+}
+
+// Exp1 is Table 1's exponential workload with a 1µs mean.
+func Exp1() *Workload {
+	w := New("Exp1", []ClassInfo{{Name: "Exp", Service: sim.Micros(1), Ratio: 1}})
+	w.expMean = sim.Micros(1)
+	return w
+}
+
+// RocksDB returns Table 1's RocksDB workload with the given SCAN
+// fraction (the paper evaluates 0.005 and 0.5): GET 1.2µs, SCAN 675µs.
+func RocksDB(scanRatio float64) *Workload {
+	if scanRatio <= 0 || scanRatio >= 1 {
+		panic("workload: scanRatio must be in (0, 1)")
+	}
+	return New(fmt.Sprintf("RocksDB(%g%%SCAN)", scanRatio*100), []ClassInfo{
+		{Name: "GET", Service: sim.Micros(1.2), Ratio: 1 - scanRatio},
+		{Name: "SCAN", Service: sim.Micros(675), Ratio: scanRatio},
+	})
+}
+
+// Fixed returns a single-class workload where every request needs
+// exactly service time s; Figure 16's dispatcher-scalability experiment
+// uses Fixed(1ms).
+func Fixed(name string, s sim.Time) *Workload {
+	return New(name, []ClassInfo{{Name: name, Service: s, Ratio: 1}})
+}
+
+// Bimodal builds a two-class workload: shortRatio of requests take
+// short, the rest take long — the generic form of the paper's bimodal
+// mixes for custom experiments.
+func Bimodal(name string, short, long sim.Time, shortRatio float64) *Workload {
+	if shortRatio <= 0 || shortRatio >= 1 {
+		panic("workload: shortRatio must be in (0, 1)")
+	}
+	return New(name, []ClassInfo{
+		{Name: "Short", Service: short, Ratio: shortRatio},
+		{Name: "Long", Service: long, Ratio: 1 - shortRatio},
+	})
+}
+
+// FromTrace builds an empirical single-class workload that samples
+// service times uniformly from the given trace of observed durations —
+// for replaying measured service-time distributions through the
+// simulators. The trace must be non-empty with positive durations.
+func FromTrace(name string, trace []sim.Time) *Workload {
+	if len(trace) == 0 {
+		panic("workload: empty trace")
+	}
+	var sum float64
+	for _, s := range trace {
+		if s <= 0 {
+			panic("workload: non-positive service time in trace")
+		}
+		sum += float64(s)
+	}
+	w := New(name, []ClassInfo{{
+		Name:    name,
+		Service: sim.Time(sum/float64(len(trace)) + 0.5),
+		Ratio:   1,
+	}})
+	w.trace = append([]sim.Time(nil), trace...)
+	return w
+}
+
+// All returns the Table 1 workloads in presentation order.
+func All() []*Workload {
+	return []*Workload{
+		ExtremeBimodal(), HighBimodal(), TPCC(), Exp1(),
+		RocksDB(0.005), RocksDB(0.5),
+	}
+}
+
+// Generator produces an open-loop Poisson arrival stream of requests
+// drawn from a workload, mirroring the paper's client (§5.1): requests
+// arrive under a Poisson process regardless of completions.
+type Generator struct {
+	W    *Workload
+	rand *rng.Rand
+	// meanGapNs is the mean inter-arrival gap for the target rate.
+	meanGapNs float64
+	nextID    uint64
+	next      sim.Time
+}
+
+// NewGenerator returns a generator for rate requests/second.
+func NewGenerator(w *Workload, rate float64, r *rng.Rand) *Generator {
+	if rate <= 0 {
+		panic("workload: rate must be positive")
+	}
+	g := &Generator{W: w, rand: r, meanGapNs: float64(sim.Second) / rate}
+	g.next = g.gap()
+	return g
+}
+
+func (g *Generator) gap() sim.Time {
+	return sim.Time(g.rand.Exp(g.meanGapNs) + 0.5)
+}
+
+// Next returns the next request in arrival order. Arrival times are
+// strictly increasing.
+func (g *Generator) Next() Request {
+	req := g.W.Sample(g.rand)
+	req.ID = g.nextID
+	g.nextID++
+	req.Arrival = g.next
+	d := g.gap()
+	if d < 1 {
+		d = 1
+	}
+	g.next += d
+	return req
+}

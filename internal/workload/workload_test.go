@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestTable1Definitions(t *testing.T) {
+	cases := []struct {
+		w        *Workload
+		nClasses int
+		mean     float64 // µs
+	}{
+		{ExtremeBimodal(), 2, 0.995*0.3 + 0.005*509},
+		{HighBimodal(), 2, 0.5*1 + 0.5*100},
+		{TPCC(), 5, 0.44*5.7 + 0.04*6 + 0.44*20 + 0.04*88 + 0.04*100},
+		{Exp1(), 1, 1},
+		{RocksDB(0.005), 2, 0.995*1.2 + 0.005*675},
+		{RocksDB(0.5), 2, 0.5*1.2 + 0.5*675},
+	}
+	for _, c := range cases {
+		if got := len(c.w.Classes); got != c.nClasses {
+			t.Errorf("%s: %d classes, want %d", c.w.Name, got, c.nClasses)
+		}
+		got := c.w.MeanService().Micros()
+		if math.Abs(got-c.mean) > 0.01 {
+			t.Errorf("%s: mean service %.3fµs, want %.3fµs", c.w.Name, got, c.mean)
+		}
+	}
+}
+
+func TestAllReturnsSixWorkloads(t *testing.T) {
+	if got := len(All()); got != 6 {
+		t.Fatalf("All returned %d workloads, want 6", got)
+	}
+}
+
+func TestDispersionRatio(t *testing.T) {
+	if got := Section2Bimodal().DispersionRatio(); got != 1000 {
+		t.Fatalf("Section2Bimodal dispersion = %v, want 1000", got)
+	}
+	if got := Exp1().DispersionRatio(); got != 1 {
+		t.Fatalf("Exp1 dispersion = %v, want 1", got)
+	}
+}
+
+func TestSampleClassRatios(t *testing.T) {
+	w := ExtremeBimodal()
+	r := rng.New(42)
+	const n = 400000
+	counts := make([]int, len(w.Classes))
+	for i := 0; i < n; i++ {
+		req := w.Sample(r)
+		counts[req.Class]++
+		if want := w.Classes[req.Class].Service; req.Service != want {
+			t.Fatalf("class %d service %d, want %d", req.Class, req.Service, want)
+		}
+	}
+	longFrac := float64(counts[1]) / n
+	if math.Abs(longFrac-0.005) > 0.001 {
+		t.Fatalf("long fraction %v, want about 0.005", longFrac)
+	}
+}
+
+func TestTPCCMixRatios(t *testing.T) {
+	w := TPCC()
+	r := rng.New(7)
+	const n = 500000
+	counts := make([]int, len(w.Classes))
+	for i := 0; i < n; i++ {
+		counts[w.Sample(r).Class]++
+	}
+	for i, c := range w.Classes {
+		got := float64(counts[i]) / n
+		if math.Abs(got-c.Ratio) > 0.005 {
+			t.Errorf("class %s: observed ratio %v, want %v", c.Name, got, c.Ratio)
+		}
+	}
+}
+
+func TestExp1ServiceDistribution(t *testing.T) {
+	w := Exp1()
+	r := rng.New(9)
+	const n = 300000
+	var sum float64
+	for i := 0; i < n; i++ {
+		req := w.Sample(r)
+		if req.Service < 1 {
+			t.Fatalf("service %d below 1ns floor", req.Service)
+		}
+		sum += float64(req.Service)
+	}
+	mean := sum / n
+	if math.Abs(mean-1000) > 20 {
+		t.Fatalf("Exp1 mean service %vns, want about 1000ns", mean)
+	}
+}
+
+func TestMaxLoad(t *testing.T) {
+	w := Fixed("unit", sim.Micros(1))
+	// 16 cores at 1µs per job: 16M jobs/s.
+	if got := w.MaxLoad(16); math.Abs(got-16e6) > 1 {
+		t.Fatalf("MaxLoad = %v, want 16e6", got)
+	}
+}
+
+func TestGeneratorRate(t *testing.T) {
+	w := Fixed("unit", sim.Micros(1))
+	r := rng.New(5)
+	const rate = 1e6 // 1 Mrps
+	g := NewGenerator(w, rate, r)
+	const n = 200000
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		if req.Arrival <= last {
+			t.Fatalf("arrivals not strictly increasing at request %d", i)
+		}
+		if req.ID != uint64(i) {
+			t.Fatalf("request ID %d, want %d", req.ID, i)
+		}
+		last = req.Arrival
+	}
+	observedRate := float64(n) / last.Seconds()
+	if math.Abs(observedRate-rate) > rate*0.02 {
+		t.Fatalf("observed rate %v, want about %v", observedRate, rate)
+	}
+}
+
+func TestGeneratorPoissonCV(t *testing.T) {
+	// Inter-arrival gaps of a Poisson process have coefficient of
+	// variation 1.
+	g := NewGenerator(Fixed("unit", sim.Micros(1)), 1e6, rng.New(3))
+	const n = 200000
+	gaps := make([]float64, n)
+	prev := sim.Time(0)
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		gaps[i] = float64(req.Arrival - prev)
+		prev = req.Arrival
+	}
+	var sum, sq float64
+	for _, gp := range gaps {
+		sum += gp
+	}
+	mean := sum / n
+	for _, gp := range gaps {
+		sq += (gp - mean) * (gp - mean)
+	}
+	cv := math.Sqrt(sq/n) / mean
+	if math.Abs(cv-1) > 0.05 {
+		t.Fatalf("inter-arrival CV %v, want about 1", cv)
+	}
+}
+
+func TestInvalidWorkloadPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ratios!=1":    func() { New("bad", []ClassInfo{{Name: "a", Service: 1, Ratio: 0.5}}) },
+		"zero ratio":   func() { New("bad", []ClassInfo{{Name: "a", Service: 1, Ratio: 0}, {Name: "b", Service: 1, Ratio: 1}}) },
+		"scan ratio 0": func() { RocksDB(0) },
+		"rate 0":       func() { NewGenerator(Fixed("x", 1), 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSampleClassInRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		for _, w := range All() {
+			for i := 0; i < 100; i++ {
+				req := w.Sample(r)
+				if int(req.Class) < 0 || int(req.Class) >= len(w.Classes) {
+					return false
+				}
+				if req.Service <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBimodalGeneric(t *testing.T) {
+	w := Bimodal("custom", sim.Micros(2), sim.Micros(200), 0.9)
+	r := rng.New(1)
+	counts := [2]int{}
+	for i := 0; i < 100000; i++ {
+		counts[w.Sample(r).Class]++
+	}
+	frac := float64(counts[0]) / 100000
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Fatalf("short fraction %v, want 0.9", frac)
+	}
+	if got := w.DispersionRatio(); got != 100 {
+		t.Fatalf("dispersion %v, want 100", got)
+	}
+}
+
+func TestBimodalInvalidRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shortRatio=1 did not panic")
+		}
+	}()
+	Bimodal("bad", 1, 2, 1)
+}
+
+func TestFromTraceSamplesTraceValues(t *testing.T) {
+	trace := []sim.Time{100, 200, 300, 400}
+	w := FromTrace("empirical", trace)
+	if got := w.MeanService(); got != 250 {
+		t.Fatalf("mean %v, want 250", got)
+	}
+	allowed := map[sim.Time]bool{100: true, 200: true, 300: true, 400: true}
+	seen := map[sim.Time]int{}
+	r := rng.New(2)
+	for i := 0; i < 40000; i++ {
+		s := w.Sample(r).Service
+		if !allowed[s] {
+			t.Fatalf("sampled service %d not in trace", s)
+		}
+		seen[s]++
+	}
+	for v, c := range seen {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("value %d sampled %d/40000 times, want ~10000", v, c)
+		}
+	}
+}
+
+func TestFromTraceValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":        func() { FromTrace("x", nil) },
+		"non-positive": func() { FromTrace("x", []sim.Time{5, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromTraceIsolatedFromCaller(t *testing.T) {
+	trace := []sim.Time{100, 200}
+	w := FromTrace("x", trace)
+	trace[0] = 999999
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		if s := w.Sample(r).Service; s != 100 && s != 200 {
+			t.Fatalf("workload shares caller's slice: sampled %d", s)
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(ExtremeBimodal(), 4e6, rng.New(1))
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}
