@@ -38,6 +38,26 @@ func maxUnderSLO(s stats.Series, slo float64) float64 {
 	return best
 }
 
+// BenchmarkSweepSequential / BenchmarkSweepParallel compare wall-clock
+// for the same figure driver with a one-worker pool vs GOMAXPROCS; the
+// per-point seed derivation makes both produce identical series, so
+// the ratio is pure parallel speedup (≈1x when GOMAXPROCS=1).
+func BenchmarkSweepSequential(b *testing.B) {
+	sc := scale()
+	sc.Workers = 1
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1(sc)
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	sc := scale()
+	sc.Workers = 0 // GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1(sc)
+	}
+}
+
 func BenchmarkFig01SlowdownVsQuantum(b *testing.B) {
 	var series []stats.Series
 	for i := 0; i < b.N; i++ {

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -34,6 +35,8 @@ func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 1,2,4,5,6,7,8,9,10,11,12,16,table1,dispatcher,all")
 	quick := flag.Bool("quick", false, "run at reduced simulated duration")
 	seed := flag.Uint64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size: 0 = GOMAXPROCS, 1 = sequential")
+	progress := flag.Bool("progress", false, "print per-point sweep progress to stderr")
 	traceOut := flag.String("trace", "", "write a chrome://tracing timeline of a short TQ run to this file and exit")
 	flag.Parse()
 	if *traceOut != "" {
@@ -53,13 +56,25 @@ func main() {
 		sc = experiments.Quick
 	}
 	sc.Seed = *seed
+	sc.Workers = *parallel
+	if *progress {
+		sc.Progress = func(p cluster.SweepPoint) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s rate=%.3gMrps wall=%s %.2gM events/s\n",
+				p.Done, p.Total, p.Result.System, p.Rate/1e6,
+				p.Wall.Round(time.Millisecond), p.EventsPerSec()/1e6)
+		}
+	}
 
 	figs := []string{*fig}
 	if *fig == "all" {
 		figs = []string{"1", "2", "4", "5", "6", "7", "8", "9", "10", "11", "12", "16", "dispatcher"}
 	}
 	for _, f := range figs {
+		start := time.Now()
 		run(f, sc)
+		if *progress {
+			fmt.Fprintf(os.Stderr, "# figure %s done in %s\n", f, time.Since(start).Round(time.Millisecond))
+		}
 	}
 }
 

@@ -115,7 +115,9 @@ func (c *Caladan) Run(cfg RunConfig) *Result {
 	}
 	r.scheduleNextArrival()
 	r.eng.Run()
-	return r.met.result(c.Name(), c.P.RTT)
+	res := r.met.result(c.Name(), c.P.RTT)
+	res.Events = r.eng.Executed()
+	return res
 }
 
 func (r *calRun) scheduleNextArrival() {
@@ -239,6 +241,20 @@ func (r *calRun) next(w int) {
 }
 
 var _ Machine = (*Caladan)(nil)
+
+// bestCaladan adapts BestCaladan to the Machine interface so sweep
+// runners can treat "the better of Caladan's two modes" as one system.
+type bestCaladan struct{ class string }
+
+func (b bestCaladan) Run(cfg RunConfig) *Result { return BestCaladan(cfg, b.class) }
+func (b bestCaladan) Name() string              { return "Caladan" }
+
+// NewBestCaladan returns a Machine that runs every configuration under
+// both Caladan modes and reports the better result, judged as in
+// BestCaladan. It holds no state, so one value is safe to share — but
+// sweep factories should still construct it per point, like any other
+// machine.
+func NewBestCaladan(class string) Machine { return bestCaladan{class: class} }
 
 // BestCaladan runs the configuration under both modes and returns the
 // better result, judged by the p99.9 sojourn of the given class (or

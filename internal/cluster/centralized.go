@@ -58,7 +58,9 @@ func (c *CentralizedPS) Run(cfg RunConfig) *Result {
 	}
 	r.scheduleNextArrival()
 	r.eng.Run()
-	return r.met.result(c.Name(), 0)
+	res := r.met.result(c.Name(), 0)
+	res.Events = r.eng.Executed()
+	return res
 }
 
 func (r *ctRun) scheduleNextArrival() {

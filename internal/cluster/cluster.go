@@ -105,6 +105,10 @@ type Result struct {
 	// RTT is the simulated network round-trip added to sojourn time
 	// when reporting end-to-end latency.
 	RTT sim.Time
+	// Events counts the discrete-event simulation steps the run
+	// executed — the work unit behind the sweep progress layer's
+	// sim-events/second metric.
+	Events uint64
 }
 
 // Class returns the metrics for the class with the given name, or nil.

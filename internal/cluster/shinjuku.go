@@ -180,7 +180,9 @@ func (s *Shinjuku) run(cfg RunConfig) (*Result, *stats.Sample) {
 	}
 	r.scheduleNextArrival()
 	r.eng.Run()
-	return r.met.result(s.Name(), s.P.RTT), r.achieved
+	res := r.met.result(s.Name(), s.P.RTT)
+	res.Events = r.eng.Executed()
+	return res, r.achieved
 }
 
 func (r *sjRun) scheduleNextArrival() {

@@ -1,6 +1,11 @@
 package cluster
 
 import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -16,20 +21,127 @@ func RatesUpTo(max float64, n int) []float64 {
 	return rates
 }
 
+// pointConfig is the RunConfig for point i of a sweep rooted at seed.
+// Every sweep path — sequential, parallel, speculative — builds its
+// configurations here, so they all run exactly the same simulations:
+// each point gets its own seed, derived from (seed, i), rather than
+// sharing one seed across the curve (which would correlate the arrival
+// streams of every point and make the curve's noise systematic instead
+// of independent).
+func pointConfig(w *workload.Workload, rates []float64, i int, dur, warm sim.Time, seed uint64) RunConfig {
+	return RunConfig{
+		Workload: w,
+		Rate:     rates[i],
+		Duration: dur,
+		Warmup:   warm,
+		Seed:     rng.PointSeed(seed, uint64(i)),
+	}
+}
+
 // Sweep runs the machine at every rate and returns one Result per
 // point, in rate order. Workload definitions are stateless, so the same
 // value is shared across runs; each run constructs its own generator.
+// Each point runs under its own derived seed (see pointConfig), so
+// ParallelSweep with any worker count reproduces this series exactly.
 func Sweep(m Machine, w *workload.Workload, rates []float64, dur, warm sim.Time, seed uint64) []*Result {
 	out := make([]*Result, 0, len(rates))
-	for _, rate := range rates {
-		out = append(out, m.Run(RunConfig{
-			Workload: w,
-			Rate:     rate,
-			Duration: dur,
-			Warmup:   warm,
-			Seed:     seed,
-		}))
+	for i := range rates {
+		out = append(out, m.Run(pointConfig(w, rates, i, dur, warm, seed)))
 	}
+	return out
+}
+
+// MachineFactory builds a fresh Machine for one simulation. Sweeps that
+// run points concurrently take a factory instead of a Machine value so
+// that no machine state — however benign under sequential reuse — is
+// shared between simulations running on different goroutines.
+type MachineFactory func() Machine
+
+// SweepPoint describes one completed sweep point, delivered to
+// SweepOptions.OnPoint as the sweep progresses.
+type SweepPoint struct {
+	// Index is the point's position in the rate grid; Rate and Seed are
+	// its offered load and derived per-point seed.
+	Index int
+	Rate  float64
+	Seed  uint64
+	// Result is the completed run's metrics.
+	Result *Result
+	// Wall is host wall-clock time the point's simulation took.
+	Wall time.Duration
+	// Done and Total count completed points (Done includes this one).
+	Done, Total int
+}
+
+// EventsPerSec reports the point's simulation speed in executed
+// sim-events per wall-clock second.
+func (p SweepPoint) EventsPerSec() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return float64(p.Result.Events) / p.Wall.Seconds()
+}
+
+// SweepOptions tunes ParallelSweep.
+type SweepOptions struct {
+	// Workers bounds the worker pool; <= 0 uses GOMAXPROCS.
+	Workers int
+	// OnPoint, when non-nil, observes each completed point. Calls are
+	// serialized but arrive in completion order, not rate order.
+	OnPoint func(SweepPoint)
+}
+
+// ParallelSweep is Sweep over a bounded worker pool: every (rate) point
+// is an independent discrete-event simulation, so the grid runs
+// embarrassingly parallel. Each point gets a fresh Machine from the
+// factory and its own derived seed, which makes the returned series —
+// in rate order — identical to Sweep's for any worker count, including
+// Workers=1.
+func ParallelSweep(mf MachineFactory, w *workload.Workload, rates []float64, dur, warm sim.Time, seed uint64, opt SweepOptions) []*Result {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rates) {
+		workers = len(rates)
+	}
+	out := make([]*Result, len(rates))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes OnPoint and the done counter
+	done := 0
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cfg := pointConfig(w, rates, i, dur, warm, seed)
+				start := time.Now()
+				res := mf().Run(cfg)
+				out[i] = res
+				if opt.OnPoint == nil {
+					continue
+				}
+				mu.Lock()
+				done++
+				opt.OnPoint(SweepPoint{
+					Index:  i,
+					Rate:   cfg.Rate,
+					Seed:   cfg.Seed,
+					Result: res,
+					Wall:   time.Since(start),
+					Done:   done,
+					Total:  len(rates),
+				})
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range rates {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 	return out
 }
 
@@ -66,21 +178,34 @@ func SlowdownSeries(label, class string, results []*Result) stats.Series {
 // MaxRateUnder scans rates in ascending order and returns the highest
 // rate whose result satisfies ok, stopping at the first violation
 // (latency-vs-load curves are monotone once they knee). Returns 0 if
-// even the lowest rate violates.
+// even the lowest rate violates. Points are seeded as in Sweep, so
+// SpeculativeMaxRateUnder over the same grid finds the same knee.
 func MaxRateUnder(m Machine, w *workload.Workload, rates []float64, dur, warm sim.Time, seed uint64, ok func(*Result) bool) float64 {
 	best := 0.0
-	for _, rate := range rates {
-		r := m.Run(RunConfig{
-			Workload: w,
-			Rate:     rate,
-			Duration: dur,
-			Warmup:   warm,
-			Seed:     seed,
-		})
+	for i := range rates {
+		r := m.Run(pointConfig(w, rates, i, dur, warm, seed))
 		if !ok(r) {
 			break
 		}
-		best = rate
+		best = rates[i]
+	}
+	return best
+}
+
+// SpeculativeMaxRateUnder is the parallel variant of MaxRateUnder: it
+// speculatively runs the whole grid concurrently, then scans ascending
+// for the first violation. It wastes the points beyond the knee but
+// turns the knee search's wall-clock from sum-of-points into
+// max-of-points, which wins whenever cores outnumber the wasted tail.
+// The returned rate equals MaxRateUnder's for the same grid and seed.
+func SpeculativeMaxRateUnder(mf MachineFactory, w *workload.Workload, rates []float64, dur, warm sim.Time, seed uint64, ok func(*Result) bool, opt SweepOptions) float64 {
+	results := ParallelSweep(mf, w, rates, dur, warm, seed, opt)
+	best := 0.0
+	for i, r := range results {
+		if !ok(r) {
+			break
+		}
+		best = rates[i]
 	}
 	return best
 }

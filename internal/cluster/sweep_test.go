@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+const (
+	sweepDur  = 20 * sim.Millisecond
+	sweepWarm = 2 * sim.Millisecond
+)
+
+func tqFactory() Machine { return NewTQ(NewTQParams()) }
+
+func TestSweepUsesPerPointSeeds(t *testing.T) {
+	w := workload.HighBimodal()
+	rates := RatesUpTo(0.6*w.MaxLoad(16), 3)
+	results := Sweep(NewTQ(NewTQParams()), w, rates, sweepDur, sweepWarm, 1)
+	seen := map[uint64]bool{}
+	for i, r := range results {
+		if r.Config.Seed == 1 {
+			t.Errorf("point %d runs under the raw sweep seed; want a derived seed", i)
+		}
+		if want := rng.PointSeed(1, uint64(i)); r.Config.Seed != want {
+			t.Errorf("point %d seed %d, want PointSeed(1,%d)=%d", i, r.Config.Seed, i, want)
+		}
+		if seen[r.Config.Seed] {
+			t.Errorf("point %d reuses another point's seed %d", i, r.Config.Seed)
+		}
+		seen[r.Config.Seed] = true
+	}
+}
+
+func TestParallelSweepMatchesSequentialExactly(t *testing.T) {
+	w := workload.HighBimodal()
+	rates := RatesUpTo(0.7*w.MaxLoad(16), 4)
+	seq := Sweep(NewTQ(NewTQParams()), w, rates, sweepDur, sweepWarm, 7)
+	for _, workers := range []int{1, 2, 4, 0} {
+		par := ParallelSweep(tqFactory, w, rates, sweepDur, sweepWarm, 7,
+			SweepOptions{Workers: workers})
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if !reflect.DeepEqual(seq[i], par[i]) {
+				t.Fatalf("workers=%d: point %d differs from sequential run\nseq: %v\npar: %v",
+					workers, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+func TestParallelSweepFreshMachinePerPoint(t *testing.T) {
+	// The factory must be invoked once per point, so no machine state
+	// can leak between points even if a Machine implementation carried
+	// some.
+	w := workload.HighBimodal()
+	rates := RatesUpTo(0.5*w.MaxLoad(16), 3)
+	built := 0
+	ParallelSweep(func() Machine {
+		built++
+		return NewTQ(NewTQParams())
+	}, w, rates, sweepDur, sweepWarm, 1, SweepOptions{Workers: 1})
+	if built != len(rates) {
+		t.Fatalf("factory invoked %d times for %d points", built, len(rates))
+	}
+}
+
+func TestParallelSweepProgress(t *testing.T) {
+	w := workload.HighBimodal()
+	rates := RatesUpTo(0.5*w.MaxLoad(16), 4)
+	var points []SweepPoint
+	ParallelSweep(tqFactory, w, rates, sweepDur, sweepWarm, 1, SweepOptions{
+		Workers: 2,
+		OnPoint: func(p SweepPoint) { points = append(points, p) },
+	})
+	if len(points) != len(rates) {
+		t.Fatalf("OnPoint fired %d times for %d points", len(points), len(rates))
+	}
+	seen := map[int]bool{}
+	for i, p := range points {
+		if p.Done != i+1 || p.Total != len(rates) {
+			t.Errorf("point %d: Done/Total = %d/%d, want %d/%d", i, p.Done, p.Total, i+1, len(rates))
+		}
+		if p.Index < 0 || p.Index >= len(rates) || seen[p.Index] {
+			t.Errorf("point %d: bad or duplicate index %d", i, p.Index)
+		}
+		seen[p.Index] = true
+		if p.Result == nil || p.Result.Events == 0 {
+			t.Errorf("point %d: missing result or zero event count", i)
+		}
+		if p.Wall <= 0 {
+			t.Errorf("point %d: non-positive wall time %v", i, p.Wall)
+		}
+		if p.EventsPerSec() <= 0 {
+			t.Errorf("point %d: non-positive events/sec", i)
+		}
+		if p.Seed != rng.PointSeed(1, uint64(p.Index)) {
+			t.Errorf("point %d: seed %d not derived from index %d", i, p.Seed, p.Index)
+		}
+	}
+}
+
+func TestParallelSweepEmptyGrid(t *testing.T) {
+	w := workload.HighBimodal()
+	out := ParallelSweep(tqFactory, w, nil, sweepDur, sweepWarm, 1, SweepOptions{})
+	if len(out) != 0 {
+		t.Fatalf("empty grid returned %d results", len(out))
+	}
+}
+
+func TestSpeculativeMaxRateUnderMatchesSequential(t *testing.T) {
+	w := workload.ExtremeBimodal()
+	rates := RatesUpTo(w.MaxLoad(16), 6)
+	ok := func(r *Result) bool { return r.P999EndToEndUs("Short") <= 50 }
+	seq := MaxRateUnder(NewTQ(NewTQParams()), w, rates, sweepDur, sweepWarm, 1, ok)
+	spec := SpeculativeMaxRateUnder(tqFactory, w, rates, sweepDur, sweepWarm, 1, ok, SweepOptions{Workers: 3})
+	if seq != spec {
+		t.Fatalf("speculative knee %v != sequential knee %v", spec, seq)
+	}
+	if seq <= 0 {
+		t.Fatal("no rate satisfied the SLO (grid too coarse for the test)")
+	}
+}
+
+func TestBestCaladanMachineMatchesFunction(t *testing.T) {
+	w := workload.Exp1()
+	cfg := RunConfig{
+		Workload: w,
+		Rate:     0.6 * w.MaxLoad(16),
+		Duration: sweepDur,
+		Warmup:   sweepWarm,
+		Seed:     3,
+	}
+	m := NewBestCaladan("Exp")
+	if m.Name() != "Caladan" {
+		t.Fatalf("NewBestCaladan name %q", m.Name())
+	}
+	if !reflect.DeepEqual(m.Run(cfg), BestCaladan(cfg, "Exp")) {
+		t.Fatal("NewBestCaladan.Run differs from BestCaladan")
+	}
+}

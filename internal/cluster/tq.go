@@ -226,7 +226,9 @@ func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
 	r.dispBusyUntil = make([]sim.Time, nDisp)
 	r.scheduleNextArrival()
 	r.eng.Run()
-	return r.met.result(t.name, t.P.RTT), r.achieved
+	res := r.met.result(t.name, t.P.RTT)
+	res.Events = r.eng.Executed()
+	return res, r.achieved
 }
 
 // emit records a trace event when tracing is enabled.

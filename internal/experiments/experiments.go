@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cachesim"
 	"repro/internal/cluster"
@@ -27,8 +28,47 @@ type Scale struct {
 	Points int
 	// SuiteScale scales the instrumentation benchmark programs.
 	SuiteScale float64
-	// Seed makes every driver deterministic.
+	// Seed makes every driver deterministic. Each sweep point derives
+	// its own seed from (Seed, pointIndex), so results do not depend on
+	// how many workers run the sweep.
 	Seed uint64
+	// Workers bounds sweep parallelism: 0 uses GOMAXPROCS, 1 forces the
+	// sequential path, higher values size the worker pool explicitly.
+	Workers int
+	// Progress, when non-nil, observes every completed sweep point
+	// (serialized, in completion order) — the cmd tools print these so
+	// long Full runs are observable.
+	Progress func(cluster.SweepPoint)
+}
+
+// opts translates the scale into sweep-runner options.
+func (sc Scale) opts() cluster.SweepOptions {
+	return cluster.SweepOptions{Workers: sc.Workers, OnPoint: sc.Progress}
+}
+
+// effectiveWorkers resolves Workers the way the sweep runner will.
+func (sc Scale) effectiveWorkers() int {
+	if sc.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return sc.Workers
+}
+
+// sweep runs one load sweep at the scale's parallelism, one fresh
+// machine per point.
+func (sc Scale) sweep(mf cluster.MachineFactory, w *workload.Workload, rates []float64) []*cluster.Result {
+	return cluster.ParallelSweep(mf, w, rates, sc.Duration, sc.Warmup, sc.Seed, sc.opts())
+}
+
+// maxRateUnder finds the highest rate satisfying ok. With one worker it
+// uses the sequential scan (which stops at the knee and wastes no
+// points); with more it speculatively runs the whole grid in parallel.
+// Both return the same rate for the same grid and seed.
+func (sc Scale) maxRateUnder(mf cluster.MachineFactory, w *workload.Workload, rates []float64, ok func(*cluster.Result) bool) float64 {
+	if sc.effectiveWorkers() == 1 {
+		return cluster.MaxRateUnder(mf(), w, rates, sc.Duration, sc.Warmup, sc.Seed, ok)
+	}
+	return cluster.SpeculativeMaxRateUnder(mf, w, rates, sc.Duration, sc.Warmup, sc.Seed, ok, sc.opts())
 }
 
 // Quick is the scale used by tests and the root benchmarks: small but
@@ -59,8 +99,9 @@ func Fig1(sc Scale) []stats.Series {
 	rates := cluster.RatesUpTo(0.92*w.MaxLoad(16), sc.Points)
 	var out []stats.Series
 	for _, qUs := range []float64{0.5, 1, 2, 5, 10} {
-		m := cluster.NewCentralizedPS(16, sim.Micros(qUs), 0)
-		results := cluster.Sweep(m, w, rates, sc.Duration, sc.Warmup, sc.Seed)
+		results := sc.sweep(func() cluster.Machine {
+			return cluster.NewCentralizedPS(16, sim.Micros(qUs), 0)
+		}, w, rates)
 		out = append(out, cluster.SlowdownSeries(fmt.Sprintf("q=%gus", qUs), "", results))
 	}
 	return out
@@ -77,9 +118,9 @@ func Fig2(sc Scale) []stats.Series {
 	for _, ovUs := range []float64{0, 0.1, 1} {
 		s := stats.Series{Label: fmt.Sprintf("overhead=%gus", ovUs)}
 		for _, qUs := range quanta {
-			m := cluster.NewCentralizedPS(16, sim.Micros(qUs), sim.Micros(ovUs))
-			best := cluster.MaxRateUnder(m, w, rates, sc.Duration, sc.Warmup, sc.Seed,
-				func(r *cluster.Result) bool { return r.P999Slowdown("") <= 10 })
+			best := sc.maxRateUnder(func() cluster.Machine {
+				return cluster.NewCentralizedPS(16, sim.Micros(qUs), sim.Micros(ovUs))
+			}, w, rates, func(r *cluster.Result) bool { return r.P999Slowdown("") <= 10 })
 			s.Append(qUs, best)
 		}
 		out = append(out, s)
@@ -94,15 +135,15 @@ func Fig4(sc Scale) []stats.Series {
 	w := workload.Section2Bimodal()
 	q := sim.Micros(1)
 	rates := cluster.RatesUpTo(0.9*w.MaxLoad(16), sc.Points)
-	systems := []cluster.Machine{
-		cluster.NewCentralizedPS(16, q, 0),
-		cluster.NewIdealTLS(16, q, cluster.BalanceJSQMSQ),
-		cluster.NewIdealTLS(16, q, cluster.BalanceJSQRandom),
+	systems := []cluster.MachineFactory{
+		func() cluster.Machine { return cluster.NewCentralizedPS(16, q, 0) },
+		func() cluster.Machine { return cluster.NewIdealTLS(16, q, cluster.BalanceJSQMSQ) },
+		func() cluster.Machine { return cluster.NewIdealTLS(16, q, cluster.BalanceJSQRandom) },
 	}
 	var out []stats.Series
-	for _, m := range systems {
-		results := cluster.Sweep(m, w, rates, sc.Duration, sc.Warmup, sc.Seed)
-		out = append(out, cluster.SlowdownSeries(m.Name(), "Long", results))
+	for _, mf := range systems {
+		results := sc.sweep(mf, w, rates)
+		out = append(out, cluster.SlowdownSeries(mf().Name(), "Long", results))
 	}
 	return out
 }
@@ -119,9 +160,11 @@ func tqQuantumSweep(sc Scale, class string) []stats.Series {
 	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
 	var out []stats.Series
 	for _, qUs := range []float64{0.5, 1, 2, 5, 10} {
-		p := cluster.NewTQParams()
-		p.Quantum = sim.Micros(qUs)
-		results := cluster.Sweep(cluster.NewTQ(p), w, rates, sc.Duration, sc.Warmup, sc.Seed)
+		results := sc.sweep(func() cluster.Machine {
+			p := cluster.NewTQParams()
+			p.Quantum = sim.Micros(qUs)
+			return cluster.NewTQ(p)
+		}, w, rates)
 		out = append(out, cluster.SojournSeries(fmt.Sprintf("q=%gus", qUs), class, results))
 	}
 	return out
@@ -144,20 +187,9 @@ func compareSystems(sc Scale, w *workload.Workload, shinjukuQ sim.Time, classes 
 	rates := cluster.RatesUpTo(0.98*w.MaxLoad(16), sc.Points)
 	cmp := SystemComparison{Workload: w.Name, PerClass: map[string][]stats.Series{}}
 
-	tq := cluster.NewTQ(cluster.NewTQParams())
-	tqRes := cluster.Sweep(tq, w, rates, sc.Duration, sc.Warmup, sc.Seed)
-	sj := cluster.NewShinjuku(cluster.NewShinjukuParams(shinjukuQ))
-	sjRes := cluster.Sweep(sj, w, rates, sc.Duration, sc.Warmup, sc.Seed)
-	var calRes []*cluster.Result
-	for _, rate := range rates {
-		calRes = append(calRes, cluster.BestCaladan(cluster.RunConfig{
-			Workload: w,
-			Rate:     rate,
-			Duration: sc.Duration,
-			Warmup:   sc.Warmup,
-			Seed:     sc.Seed,
-		}, classes[0]))
-	}
+	tqRes := sc.sweep(func() cluster.Machine { return cluster.NewTQ(cluster.NewTQParams()) }, w, rates)
+	sjRes := sc.sweep(func() cluster.Machine { return cluster.NewShinjuku(cluster.NewShinjukuParams(shinjukuQ)) }, w, rates)
+	calRes := sc.sweep(func() cluster.Machine { return cluster.NewBestCaladan(classes[0]) }, w, rates)
 	for _, class := range classes {
 		cmp.PerClass[class] = []stats.Series{
 			cluster.LatencySeries("TQ", class, tqRes),
@@ -209,32 +241,32 @@ func Fig10(sc Scale) []SystemComparison {
 // Fig11 reproduces Figure 11: TQ vs its forced-multitasking ablations
 // (TQ-IC, TQ-SLOW-YIELD, TQ-TIMING) on RocksDB 0.5% SCAN; GET curves.
 func Fig11(sc Scale) []stats.Series {
-	return tqVariantSweep(sc, []*cluster.TQ{
-		cluster.NewTQ(cluster.NewTQParams()),
-		cluster.NewTQIC(cluster.NewTQParams()),
-		cluster.NewTQSlowYield(cluster.NewTQParams()),
-		cluster.NewTQTiming(cluster.NewTQParams()),
+	return tqVariantSweep(sc, []func() *cluster.TQ{
+		func() *cluster.TQ { return cluster.NewTQ(cluster.NewTQParams()) },
+		func() *cluster.TQ { return cluster.NewTQIC(cluster.NewTQParams()) },
+		func() *cluster.TQ { return cluster.NewTQSlowYield(cluster.NewTQParams()) },
+		func() *cluster.TQ { return cluster.NewTQTiming(cluster.NewTQParams()) },
 	})
 }
 
 // Fig12 reproduces Figure 12: TQ vs its two-level-scheduling ablations
 // (TQ-RAND, TQ-POWER-TWO, TQ-FCFS) on RocksDB 0.5% SCAN; GET curves.
 func Fig12(sc Scale) []stats.Series {
-	return tqVariantSweep(sc, []*cluster.TQ{
-		cluster.NewTQ(cluster.NewTQParams()),
-		cluster.NewTQRand(cluster.NewTQParams()),
-		cluster.NewTQPowerTwo(cluster.NewTQParams()),
-		cluster.NewTQFCFS(cluster.NewTQParams()),
+	return tqVariantSweep(sc, []func() *cluster.TQ{
+		func() *cluster.TQ { return cluster.NewTQ(cluster.NewTQParams()) },
+		func() *cluster.TQ { return cluster.NewTQRand(cluster.NewTQParams()) },
+		func() *cluster.TQ { return cluster.NewTQPowerTwo(cluster.NewTQParams()) },
+		func() *cluster.TQ { return cluster.NewTQFCFS(cluster.NewTQParams()) },
 	})
 }
 
-func tqVariantSweep(sc Scale, systems []*cluster.TQ) []stats.Series {
+func tqVariantSweep(sc Scale, systems []func() *cluster.TQ) []stats.Series {
 	w := workload.RocksDB(0.005)
 	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
 	var out []stats.Series
-	for _, m := range systems {
-		results := cluster.Sweep(m, w, rates, sc.Duration, sc.Warmup, sc.Seed)
-		out = append(out, cluster.SojournSeries(m.Name(), "GET", results))
+	for _, mk := range systems {
+		results := sc.sweep(func() cluster.Machine { return mk() }, w, rates)
+		out = append(out, cluster.SojournSeries(mk().Name(), "GET", results))
 	}
 	return out
 }
@@ -451,16 +483,16 @@ func Table3(sc Scale) []instrument.Table3Row {
 func ExtensionComparison(sc Scale) []stats.Series {
 	w := workload.ExtremeBimodal()
 	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
-	systems := []cluster.Machine{
-		cluster.NewTQ(cluster.NewTQParams()),
-		cluster.NewTQLAS(cluster.NewTQParams()),
-		cluster.NewConcord(sim.Micros(5)),
-		cluster.NewLibPreemptible(cluster.NewTQParams()),
+	systems := []cluster.MachineFactory{
+		func() cluster.Machine { return cluster.NewTQ(cluster.NewTQParams()) },
+		func() cluster.Machine { return cluster.NewTQLAS(cluster.NewTQParams()) },
+		func() cluster.Machine { return cluster.NewConcord(sim.Micros(5)) },
+		func() cluster.Machine { return cluster.NewLibPreemptible(cluster.NewTQParams()) },
 	}
 	var out []stats.Series
-	for _, m := range systems {
-		results := cluster.Sweep(m, w, rates, sc.Duration, sc.Warmup, sc.Seed)
-		out = append(out, cluster.SojournSeries(m.Name(), "Short", results))
+	for _, mf := range systems {
+		results := sc.sweep(mf, w, rates)
+		out = append(out, cluster.SojournSeries(mf().Name(), "Short", results))
 	}
 	return out
 }
@@ -497,10 +529,11 @@ func CoroutineCountAblation(sc Scale, counts []int) []float64 {
 	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
 	out := make([]float64, 0, len(counts))
 	for _, coros := range counts {
-		p := cluster.NewTQParams()
-		p.Coroutines = coros
-		best := cluster.MaxRateUnder(cluster.NewTQ(p), w, rates, sc.Duration, sc.Warmup, sc.Seed,
-			func(r *cluster.Result) bool { return r.P999SojournUs("GET") <= 50 })
+		best := sc.maxRateUnder(func() cluster.Machine {
+			p := cluster.NewTQParams()
+			p.Coroutines = coros
+			return cluster.NewTQ(p)
+		}, w, rates, func(r *cluster.Result) bool { return r.P999SojournUs("GET") <= 50 })
 		out = append(out, best)
 	}
 	return out

@@ -24,6 +24,17 @@ func splitMix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// PointSeed derives the seed for point i of a multi-point experiment
+// rooted at seed: the i-th output of the SplitMix64 stream seeded at
+// seed. Points of the same sweep get decorrelated seeds (SplitMix64's
+// finalizer avalanches every input bit), while the mapping stays a pure
+// function of (seed, i) so a sweep produces identical per-point runs no
+// matter which order — or on how many goroutines — its points execute.
+func PointSeed(seed, i uint64) uint64 {
+	s := seed + i*0x9e3779b97f4a7c15
+	return splitMix64(&s)
+}
+
 // Rand is a xoshiro256** pseudo-random generator. The zero value is not
 // valid; construct one with New.
 type Rand struct {

@@ -21,9 +21,16 @@ const (
 )
 
 // Micros converts a duration in (possibly fractional) microseconds to a
-// Time, rounding to the nearest nanosecond.
+// Time, rounding to the nearest nanosecond with ties away from zero.
+// Negative durations are legal (time deltas can be negative); the
+// conversion must not round them toward zero, which `Time(ns + 0.5)`
+// alone would.
 func Micros(us float64) Time {
-	return Time(us*1000 + 0.5)
+	ns := us * 1000
+	if ns < 0 {
+		return Time(ns - 0.5)
+	}
+	return Time(ns + 0.5)
 }
 
 // Seconds converts t to fractional seconds.
@@ -43,10 +50,11 @@ type event struct {
 // Engine runs events in timestamp order. The zero value is ready to
 // use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	heap   []event
-	halted bool
+	now      Time
+	seq      uint64
+	executed uint64
+	heap     []event
+	halted   bool
 }
 
 // New returns a fresh engine at time zero.
@@ -80,6 +88,11 @@ func (e *Engine) Halt() { e.halted = true }
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// Executed reports the number of events run so far — the natural unit
+// of simulation work, used by the sweep progress layer to report
+// sim-events/second.
+func (e *Engine) Executed() uint64 { return e.executed }
+
 // Run executes events until the queue is empty or Halt is called. It
 // returns the final virtual time.
 func (e *Engine) Run() Time {
@@ -87,6 +100,7 @@ func (e *Engine) Run() Time {
 	for len(e.heap) > 0 && !e.halted {
 		ev := e.pop()
 		e.now = ev.at
+		e.executed++
 		ev.fn()
 	}
 	return e.now
@@ -100,6 +114,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	for len(e.heap) > 0 && !e.halted && e.heap[0].at <= deadline {
 		ev := e.pop()
 		e.now = ev.at
+		e.executed++
 		ev.fn()
 	}
 	if !e.halted && e.now < deadline {

@@ -199,6 +199,56 @@ func TestMicrosConversion(t *testing.T) {
 	}
 }
 
+func TestMicrosRoundsHalfAwayFromZero(t *testing.T) {
+	cases := []struct {
+		us   float64
+		want Time
+	}{
+		{0, 0},
+		{0.0005, 1},   // exact half rounds up
+		{0.0004, 0},   // below half truncates
+		{1.2, 1200},   // plain positive
+		{-1.2, -1200}, // plain negative: must not truncate toward zero
+		{-0.0005, -1}, // exact negative half rounds away from zero
+		{-0.0004, 0},  // below half rounds to zero
+		{-2.5, -2500}, // negative with exact ns value
+		{-0.0012, -1}, // -1.2ns rounds to -1, not 0 (truncation bug)
+		{-0.0018, -2}, // -1.8ns rounds to -2
+	}
+	for _, c := range cases {
+		if got := Micros(c.us); got != c.want {
+			t.Errorf("Micros(%v) = %d, want %d", c.us, got, c.want)
+		}
+	}
+	// Symmetry: negating the input negates the output.
+	for _, us := range []float64{0.0005, 0.3, 1.7, 2.5, 99.9999} {
+		if Micros(-us) != -Micros(us) {
+			t.Errorf("Micros(%v)=%d but Micros(%v)=%d: not symmetric",
+				us, Micros(us), -us, Micros(-us))
+		}
+	}
+}
+
+func TestEngineExecutedCountsEvents(t *testing.T) {
+	e := New()
+	if e.Executed() != 0 {
+		t.Fatalf("fresh engine Executed() = %d", e.Executed())
+	}
+	for i := 1; i <= 5; i++ {
+		e.After(Time(i), func() {})
+	}
+	e.Run()
+	if e.Executed() != 5 {
+		t.Fatalf("Executed() = %d after 5 events, want 5", e.Executed())
+	}
+	// RunUntil counts, too, and the counter accumulates across calls.
+	e.After(1, func() { e.After(1, func() {}) })
+	e.RunUntil(e.Now() + 10)
+	if e.Executed() != 7 {
+		t.Fatalf("Executed() = %d after 7 events, want 7", e.Executed())
+	}
+}
+
 func BenchmarkEngineChurn(b *testing.B) {
 	// Measures push/pop throughput with a live queue of 1024 events,
 	// the regime the scheduling simulations operate in.

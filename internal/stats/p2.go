@@ -96,13 +96,15 @@ func (q *P2Quantile) linear(i int, d float64) float64 {
 	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
 }
 
-// Value returns the current estimate. With fewer than five
-// observations it falls back to the exact order statistic.
+// Value returns the current estimate. With five or fewer observations
+// it returns the exact order statistic of the seed values: the marker
+// machinery has not adjusted anything yet, and its middle marker is the
+// sample median regardless of p — garbage for tail quantiles.
 func (q *P2Quantile) Value() float64 {
 	if q.n == 0 {
 		return 0
 	}
-	if q.n < 5 {
+	if q.n <= 5 {
 		s := append([]float64(nil), q.initial...)
 		for i := 1; i < len(s); i++ {
 			for j := i; j > 0 && s[j] < s[j-1]; j-- {

@@ -71,6 +71,61 @@ func TestP2SmallStreams(t *testing.T) {
 	}
 }
 
+func TestP2TailQuantileSmallN(t *testing.T) {
+	// For n <= 5 the estimator must return the sorted-sample quantile of
+	// the seed values. Before the fix, n == 5 returned heights[2] — the
+	// sample median — regardless of p, so a p99.9 estimator fed exactly
+	// five values reported the median.
+	q := NewP2Quantile(0.999)
+	if q.Value() != 0 {
+		t.Fatal("empty estimator not zero")
+	}
+	values := []float64{5, 1, 4, 2, 3}
+	for i, v := range values {
+		q.Add(v)
+		// Running max of the first i+1 values: a p99.9 quantile over
+		// <=5 samples is the largest observation.
+		max := values[0]
+		for _, u := range values[:i+1] {
+			if u > max {
+				max = u
+			}
+		}
+		if got := q.Value(); got != max {
+			t.Fatalf("p99.9 after %d values = %v, want max %v", i+1, got, max)
+		}
+	}
+}
+
+func TestP2MedianAtExactlyFive(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	for _, v := range []float64{9, 3, 7, 1, 5} {
+		q.Add(v)
+	}
+	// Sorted: {1,3,5,7,9}; idx = floor(0.5*5) = 2 -> 5.
+	if got := q.Value(); got != 5 {
+		t.Fatalf("median at n=5 = %v, want 5", got)
+	}
+	if q.Count() != 5 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+}
+
+func TestP2LowQuantileSmallN(t *testing.T) {
+	q := NewP2Quantile(0.01)
+	min := math.Inf(1)
+	for _, v := range []float64{40, 10, 30, 50, 20} {
+		q.Add(v)
+		if v < min {
+			min = v
+		}
+		// p1 over a handful of samples is the smallest observation.
+		if got := q.Value(); got != min {
+			t.Fatalf("p1 after %d values = %v, want min %v", q.Count(), got, min)
+		}
+	}
+}
+
 func TestP2MonotoneStream(t *testing.T) {
 	q := NewP2Quantile(0.999)
 	for i := 1; i <= 10000; i++ {
