@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -38,6 +39,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep worker pool size: 0 = GOMAXPROCS, 1 = sequential")
 	progress := flag.Bool("progress", false, "print per-point sweep progress to stderr")
 	traceOut := flag.String("trace", "", "write a chrome://tracing timeline of a short TQ run to this file and exit")
+	slo := flag.String("slo", "", `per-class sojourn SLOs for goodput, e.g. "GET=50us,SCAN=1ms" or a bare "100us" for all classes`)
 	flag.Parse()
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, *seed); err != nil {
@@ -57,6 +59,15 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Workers = *parallel
+	if *slo != "" {
+		slos, err := parseSLOs(*slo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(2)
+		}
+		sc.SLOs = slos
+		showGoodput = true
+	}
 	if *progress {
 		sc.Progress = func(p cluster.SweepPoint) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s rate=%.3gMrps wall=%s %.2gM events/s\n",
@@ -174,6 +185,37 @@ func writeTrace(path string, seed uint64) error {
 	return rec.WriteChrome(f)
 }
 
+// showGoodput enables the goodput blocks in printComparison; set when
+// -slo provides targets (without targets goodput just repeats
+// throughput, so the default output stays as before).
+var showGoodput bool
+
+// parseSLOs parses "-slo" syntax: comma-separated Class=duration pairs
+// ("GET=50us,SCAN=1ms"), where a bare duration ("100us") or a "*" key
+// applies to every class.
+func parseSLOs(s string) (map[string]sim.Time, error) {
+	out := map[string]sim.Time{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		class, val := "*", part
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			class, val = strings.TrimSpace(part[:i]), strings.TrimSpace(part[i+1:])
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad SLO %q: want Class=duration or a bare duration", part)
+		}
+		out[class] = sim.Time(d.Nanoseconds())
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -slo value")
+	}
+	return out, nil
+}
+
 func header(s string) { fmt.Printf("# %s\n", s) }
 
 func printSeries(series []stats.Series) {
@@ -197,4 +239,25 @@ func printComparison(cmp experiments.SystemComparison) {
 		fmt.Printf("## %s / overall p99.9 slowdown\n", cmp.Workload)
 		printSeries(cmp.OverallSlowdown)
 	}
+	if showGoodput && len(cmp.Goodput) > 0 {
+		fmt.Printf("## %s / goodput (rps meeting SLO)\n", cmp.Workload)
+		printSeries(cmp.Goodput)
+	}
+	// Drop-rate curves appear only once something actually dropped:
+	// survivor-only latency curves flatten right where these rise.
+	if anyNonZero(cmp.DropRate) {
+		fmt.Printf("## %s / drop rate\n", cmp.Workload)
+		printSeries(cmp.DropRate)
+	}
+}
+
+func anyNonZero(series []stats.Series) bool {
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -1,0 +1,60 @@
+package cluster
+
+import "repro/internal/sim"
+
+// admission is the shared overload-accounting gate every machine's
+// arrive path goes through. It models the bounded NIC RX stage — a
+// ring that holds a fixed number of *requests*, regardless of how
+// long each one takes to process — and keeps the drop half of the
+// Offered/Dropped/Goodput bookkeeping so all machine models share one
+// definition of what a drop is and when it counts.
+//
+// Lanes model independent bounded queues: TQ with multiple dispatcher
+// cores has one RX ring per core; every other machine uses one lane.
+// A request occupies its lane from tryAdmit until the machine calls
+// release — for serial-server stages (TQ dispatcher, Shinjuku packet
+// processing, Caladan IOKernel) that is when the stage picks the
+// request up, so the occupancy is exactly the unprocessed backlog in
+// requests.
+type admission struct {
+	warmup  sim.Time
+	limit   int // per-lane capacity in requests; <= 0 means unbounded
+	pending []int
+	dropped uint64 // post-warmup drops (see metrics.record for the window)
+}
+
+func newAdmission(warmup sim.Time, limit, lanes int) *admission {
+	if lanes <= 0 {
+		lanes = 1
+	}
+	return &admission{warmup: warmup, limit: limit, pending: make([]int, lanes)}
+}
+
+// tryAdmit reports whether the lane can accept a request arriving at
+// the given time. A full lane books a drop — only post-warmup, so the
+// drop count shares the measurement window of metrics.record: a drop
+// resolves at its arrival instant, and arrivals never occur after
+// Duration, so gating on arrival alone applies the same
+// [Warmup, Duration] window that completions get.
+func (a *admission) tryAdmit(lane int, arrival sim.Time) bool {
+	if a.limit <= 0 {
+		return true
+	}
+	if a.pending[lane] >= a.limit {
+		if arrival >= a.warmup {
+			a.dropped++
+		}
+		return false
+	}
+	a.pending[lane]++
+	return true
+}
+
+// release frees one slot of the lane: the bounded stage has picked the
+// request up. Machines with unbounded admission never call it.
+func (a *admission) release(lane int) {
+	if a.limit <= 0 {
+		return
+	}
+	a.pending[lane]--
+}

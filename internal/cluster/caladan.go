@@ -88,6 +88,7 @@ type calRun struct {
 	eng     *sim.Engine
 	cfg     RunConfig
 	met     *metrics
+	adm     *admission
 	pool    jobPool
 	workers []calWorker
 	idle    []int // idle worker indices (spinning, ready to steal)
@@ -110,6 +111,14 @@ func (c *Caladan) Run(cfg RunConfig) *Result {
 		rand:    rng.New(cfg.Seed ^ 0xca1ada),
 		gen:     workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
 	}
+	// Only the IOKernel is a bounded serial stage; directpath workers
+	// read the NIC directly, so their arrive path goes through an
+	// unbounded gate (limit 0) and never drops.
+	limit := 0
+	if c.P.Mode == IOKernel {
+		limit = c.P.RXQueue
+	}
+	r.adm = r.met.admission(limit, 1)
 	for w := range r.workers {
 		r.idle = append(r.idle, w)
 	}
@@ -127,6 +136,12 @@ func (r *calRun) scheduleNextArrival() {
 	}
 	r.eng.At(req.Arrival, func() {
 		r.scheduleNextArrival()
+		// The RX ring bounds the IOKernel's backlog in packets — the
+		// ring holds descriptors, not time — so the bound applies even
+		// when IOKCost is zero. Directpath admits everything.
+		if !r.adm.tryAdmit(0, req.Arrival) {
+			return
+		}
 		j := r.pool.get()
 		j.id = req.ID
 		j.class = req.Class
@@ -141,18 +156,17 @@ func (r *calRun) scheduleNextArrival() {
 		w := r.rss.Steer(req.ID, len(r.workers))
 		if r.m.P.Mode == IOKernel {
 			// The IOKernel is a serial server between NIC and workers;
-			// a saturated one drops packets at the RX ring.
+			// the packet holds its ring slot until the IOKernel
+			// forwards it.
 			now := r.eng.Now()
-			if r.m.P.RXQueue > 0 &&
-				r.iokBusyUntil-now > sim.Time(r.m.P.RXQueue)*r.m.P.IOKCost {
-				r.pool.put(j)
-				return
-			}
 			if r.iokBusyUntil < now {
 				r.iokBusyUntil = now
 			}
 			r.iokBusyUntil += r.m.P.IOKCost
-			r.eng.At(r.iokBusyUntil, func() { r.deliver(w, j) })
+			r.eng.At(r.iokBusyUntil, func() {
+				r.adm.release(0)
+				r.deliver(w, j)
+			})
 		} else {
 			r.deliver(w, j)
 		}

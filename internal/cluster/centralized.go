@@ -39,6 +39,7 @@ type ctRun struct {
 	eng   *sim.Engine
 	cfg   RunConfig
 	met   *metrics
+	adm   *admission
 	pool  jobPool
 	queue core.FIFO[*job]
 	idle  int
@@ -56,6 +57,10 @@ func (c *CentralizedPS) Run(cfg RunConfig) *Result {
 		idle: c.Workers,
 		gen:  workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
 	}
+	// The idealized scheduler has no bounded RX stage (limit 0): the
+	// gate admits everything, but the arrive path still goes through it
+	// so Offered/Dropped accounting is uniform across machine models.
+	r.adm = r.met.admission(0, 1)
 	r.scheduleNextArrival()
 	r.eng.Run()
 	res := r.met.result(c.Name(), 0)
@@ -70,6 +75,9 @@ func (r *ctRun) scheduleNextArrival() {
 	}
 	r.eng.At(req.Arrival, func() {
 		r.scheduleNextArrival()
+		if !r.adm.tryAdmit(0, req.Arrival) {
+			return
+		}
 		j := r.pool.get()
 		j.id = req.ID
 		j.class = req.Class

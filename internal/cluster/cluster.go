@@ -71,6 +71,14 @@ type RunConfig struct {
 	Warmup sim.Time
 	// Seed makes the run reproducible.
 	Seed uint64
+	// SLOs, when non-nil, maps class name to a sojourn-time target for
+	// goodput accounting: a completion counts toward Result.Goodput
+	// only if its sojourn is within its class's target. The key "*"
+	// applies to every class without an explicit entry. Classes with no
+	// target always count, so a nil map makes Goodput equal Throughput.
+	// Targets are on sojourn (not end-to-end) time so goodput compares
+	// across machines with different modelled RTTs.
+	SLOs map[string]sim.Time
 }
 
 func (c RunConfig) validate() {
@@ -89,6 +97,9 @@ func (c RunConfig) validate() {
 type ClassMetrics struct {
 	Name     string
 	Count    uint64
+	// Good counts completions within the class's SLO target; it equals
+	// Count when the class has no target.
+	Good     uint64
 	Sojourn  *stats.Sample // ns, dispatcher-arrival to completion (§5.1)
 	Slowdown *stats.Sample // sojourn / uninstrumented service time
 }
@@ -105,6 +116,23 @@ type Result struct {
 	// RTT is the simulated network round-trip added to sojourn time
 	// when reporting end-to-end latency.
 	RTT sim.Time
+	// Offered counts the measurement window's resolved requests:
+	// every post-warmup arrival whose fate — completion or RX-ring
+	// drop — was decided by Duration. Requests still in flight when
+	// the window closes appear in neither count (exactly as they are
+	// absent from the latency percentiles), so the conservation law
+	// Offered == Completed + Dropped holds for every run.
+	Offered uint64
+	// Dropped counts post-warmup arrivals rejected at a full RX ring.
+	// Survivor-only percentiles are meaningful only alongside it: past
+	// the knee a machine can report flat tails simply by shedding load.
+	Dropped uint64
+	// DropRate is Dropped/Offered (0 when nothing was offered).
+	DropRate float64
+	// Goodput is the rate of in-window completions that met their
+	// class's SLO target (RunConfig.SLOs), in requests/second. With no
+	// targets configured it equals Throughput.
+	Goodput float64
 	// Events counts the discrete-event simulation steps the run
 	// executed — the work unit behind the sweep progress layer's
 	// sim-events/second metric.
@@ -167,6 +195,9 @@ type metrics struct {
 	cfg      RunConfig
 	perClass []ClassMetrics
 	done     uint64
+	good     uint64
+	slo      []sim.Time // per-class sojourn target; 0 = none
+	adm      *admission
 }
 
 func newMetrics(cfg RunConfig) *metrics {
@@ -177,8 +208,22 @@ func newMetrics(cfg RunConfig) *metrics {
 			Sojourn:  stats.NewSample(1024),
 			Slowdown: stats.NewSample(1024),
 		})
+		target := cfg.SLOs[c.Name]
+		if target == 0 {
+			target = cfg.SLOs["*"]
+		}
+		m.slo = append(m.slo, target)
 	}
 	return m
+}
+
+// admission creates the run's RX-stage gate and ties its drop counter
+// into this recorder, so result() can report drops next to
+// completions. limit <= 0 models an unbounded stage (the gate then
+// admits everything and tracks nothing).
+func (m *metrics) admission(limit, lanes int) *admission {
+	m.adm = newAdmission(m.cfg.Warmup, limit, lanes)
+	return m.adm
 }
 
 // record notes a completion at time now for a job that arrived at
@@ -194,12 +239,25 @@ func (m *metrics) record(j *job, now sim.Time) {
 	c.Count++
 	m.done++
 	sojourn := now - j.arrival
+	if target := m.slo[j.class]; target == 0 || sojourn <= target {
+		c.Good++
+		m.good++
+	}
 	c.Sojourn.Add(float64(sojourn))
 	c.Slowdown.Add(float64(sojourn) / float64(j.base))
 }
 
 func (m *metrics) result(system string, rtt sim.Time) *Result {
 	window := (m.cfg.Duration - m.cfg.Warmup).Seconds()
+	var dropped uint64
+	if m.adm != nil {
+		dropped = m.adm.dropped
+	}
+	offered := m.done + dropped
+	var dropRate float64
+	if offered > 0 {
+		dropRate = float64(dropped) / float64(offered)
+	}
 	return &Result{
 		System:     system,
 		Config:     m.cfg,
@@ -207,6 +265,10 @@ func (m *metrics) result(system string, rtt sim.Time) *Result {
 		Completed:  m.done,
 		Throughput: float64(m.done) / window,
 		RTT:        rtt,
+		Offered:    offered,
+		Dropped:    dropped,
+		DropRate:   dropRate,
+		Goodput:    float64(m.good) / window,
 	}
 }
 
@@ -218,9 +280,40 @@ type Machine interface {
 	Name() string
 }
 
+// sloMachine stamps per-class SLO targets onto every RunConfig, so
+// SLO-less sweep drivers (whose signatures fix the config fields)
+// still produce goodput curves.
+type sloMachine struct {
+	m    Machine
+	slos map[string]sim.Time
+}
+
+func (s sloMachine) Run(cfg RunConfig) *Result {
+	cfg.SLOs = s.slos
+	return s.m.Run(cfg)
+}
+
+func (s sloMachine) Name() string { return s.m.Name() }
+
+// WithSLOs wraps a machine so every Run carries the given per-class
+// sojourn targets (see RunConfig.SLOs). A nil or empty map returns
+// the machine unchanged.
+func WithSLOs(m Machine, slos map[string]sim.Time) Machine {
+	if len(slos) == 0 {
+		return m
+	}
+	return sloMachine{m: m, slos: slos}
+}
+
 // String renders a one-line summary, useful in logs and examples.
 func (r *Result) String() string {
 	s := fmt.Sprintf("%s rate=%.2gMrps tput=%.2gMrps", r.System, r.Config.Rate/1e6, r.Throughput/1e6)
+	if r.Dropped > 0 {
+		s += fmt.Sprintf(" drops=%d(%.1f%%)", r.Dropped, 100*r.DropRate)
+	}
+	if r.Goodput < r.Throughput {
+		s += fmt.Sprintf(" goodput=%.2gMrps", r.Goodput/1e6)
+	}
 	for i := range r.PerClass {
 		c := &r.PerClass[i]
 		if c.Count == 0 {

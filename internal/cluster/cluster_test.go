@@ -357,9 +357,10 @@ func TestRunConfigValidation(t *testing.T) {
 }
 
 func TestTQRXQueueDropsUnderSaturation(t *testing.T) {
-	// Offer 10x the dispatcher's capacity: the RX ring must drop, the
-	// trace must record drops, and throughput must plateau at the
-	// dispatcher's service rate rather than queueing unboundedly.
+	// Offer ~7x the dispatcher's capacity: the RX ring must drop —
+	// reported by the Result itself, not just as trace events — and
+	// throughput must plateau at the dispatcher's service rate rather
+	// than queueing unboundedly.
 	w := workload.Fixed("tiny", 100*sim.Nanosecond)
 	p := NewTQParams()
 	p.Workers = 64
@@ -373,14 +374,15 @@ func TestTQRXQueueDropsUnderSaturation(t *testing.T) {
 		Warmup:   sim.Millisecond,
 		Seed:     1,
 	})
-	drops := 0
-	for _, e := range rec.Events() {
-		if e.Kind == trace.Drop {
-			drops++
-		}
+	if res.Dropped == 0 {
+		t.Fatal("no drops reported at 7x overload")
 	}
-	if drops == 0 {
-		t.Fatal("no drops recorded at 7x overload")
+	if res.Offered != res.Completed+res.Dropped {
+		t.Fatalf("conservation violated: offered %d != completed %d + dropped %d",
+			res.Offered, res.Completed, res.Dropped)
+	}
+	if res.DropRate <= 0 || res.DropRate >= 1 {
+		t.Fatalf("drop rate %v at 7x overload, want strictly inside (0,1)", res.DropRate)
 	}
 	cap := 1e9 / float64(p.DispatchCost)
 	if res.Throughput > 1.1*cap {
@@ -391,6 +393,145 @@ func TestTQRXQueueDropsUnderSaturation(t *testing.T) {
 	}
 	if err := rec.Validate(); err != nil {
 		t.Fatalf("trace invalid under overload: %v", err)
+	}
+}
+
+func TestOverloadAccountingConservation(t *testing.T) {
+	// Saturation sweep from underload to 3x capacity: every machine
+	// must conserve requests at every offered load — each post-warmup
+	// arrival resolved inside the window is either a completion or a
+	// drop, so Offered == Completed + Dropped exactly. At least one
+	// overloaded point must actually drop, so the law is exercised
+	// past the knee and not vacuously on drop-free runs.
+	w := workload.Exp1()
+	sawDrops := false
+	for _, load := range []float64{0.5, 1.5, 3.0} {
+		cfg := RunConfig{
+			Workload: w,
+			Rate:     load * w.MaxLoad(4),
+			Duration: 10 * sim.Millisecond,
+			Warmup:   sim.Millisecond,
+			Seed:     7,
+		}
+		for _, m := range allMachines(4) {
+			res := m.Run(cfg)
+			if res.Offered != res.Completed+res.Dropped {
+				t.Errorf("%s at %gx: offered %d != completed %d + dropped %d",
+					m.Name(), load, res.Offered, res.Completed, res.Dropped)
+			}
+			if res.DropRate < 0 || res.DropRate > 1 {
+				t.Errorf("%s at %gx: drop rate %v outside [0,1]", m.Name(), load, res.DropRate)
+			}
+			// Without SLO targets every completion is good.
+			if res.Goodput != res.Throughput {
+				t.Errorf("%s at %gx: goodput %v != throughput %v with no SLOs",
+					m.Name(), load, res.Goodput, res.Throughput)
+			}
+			if res.Dropped > 0 {
+				sawDrops = true
+			}
+		}
+	}
+	if !sawDrops {
+		t.Error("no machine dropped anything at 3x capacity: conservation never exercised past the knee")
+	}
+}
+
+func TestSLOGoodputBelowThroughputUnderLoad(t *testing.T) {
+	// A 20µs sojourn target on Extreme Bimodal: long jobs (~100µs of
+	// service) can never meet it, so goodput must fall below
+	// throughput, per-class Good must drop below Count, and the
+	// WithSLOs wrapper must behave exactly like setting RunConfig.SLOs
+	// directly.
+	w := workload.ExtremeBimodal()
+	slos := map[string]sim.Time{"*": sim.Micros(20)}
+	cfg := testCfg(w, 0.6*w.MaxLoad(16))
+	cfg.SLOs = slos
+	res := NewTQ(NewTQParams()).Run(cfg)
+	if res.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	if res.Goodput >= res.Throughput {
+		t.Fatalf("goodput %v not below throughput %v under a 20µs SLO", res.Goodput, res.Throughput)
+	}
+	long := res.Class("Long")
+	if long.Good >= long.Count {
+		t.Fatalf("long jobs met a 20µs SLO: good %d of %d", long.Good, long.Count)
+	}
+	short := res.Class("Short")
+	if short.Good == 0 {
+		t.Fatal("no short job met a 20µs SLO at moderate load")
+	}
+	wrapped := WithSLOs(NewTQ(NewTQParams()), slos).Run(testCfg(w, 0.6*w.MaxLoad(16)))
+	if !reflect.DeepEqual(res, wrapped) {
+		t.Fatal("WithSLOs differs from setting RunConfig.SLOs directly")
+	}
+}
+
+func TestAdmissionBoundsRequestsNotTime(t *testing.T) {
+	// The RX ring holds request descriptors: its bound must apply by
+	// count, independent of any per-request processing cost.
+	a := newAdmission(0, 2, 1)
+	if !a.tryAdmit(0, 0) || !a.tryAdmit(0, 0) {
+		t.Fatal("ring rejected requests below capacity")
+	}
+	if a.tryAdmit(0, 0) {
+		t.Fatal("ring admitted beyond capacity")
+	}
+	if a.dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", a.dropped)
+	}
+	a.release(0)
+	if !a.tryAdmit(0, 0) {
+		t.Fatal("released slot not reusable")
+	}
+
+	// Pre-warmup drops shed load but stay out of the measurement
+	// window, exactly like pre-warmup completions.
+	b := newAdmission(10, 1, 1)
+	b.tryAdmit(0, 5)
+	if b.tryAdmit(0, 5) || b.dropped != 0 {
+		t.Fatalf("pre-warmup drop counted: dropped = %d", b.dropped)
+	}
+	if b.tryAdmit(0, 20) || b.dropped != 1 {
+		t.Fatalf("post-warmup drop not counted: dropped = %d", b.dropped)
+	}
+
+	// limit <= 0 is an unbounded stage: admit everything, track nothing.
+	c := newAdmission(0, 0, 1)
+	for i := 0; i < 100; i++ {
+		if !c.tryAdmit(0, 0) {
+			t.Fatal("unbounded gate rejected a request")
+		}
+	}
+	if c.dropped != 0 || c.pending[0] != 0 {
+		t.Fatalf("unbounded gate kept state: dropped=%d pending=%d", c.dropped, c.pending[0])
+	}
+}
+
+func TestTQFreeDispatcherNeverBacklogs(t *testing.T) {
+	// With DispatchCost == 0 the dispatcher forwards instantly, so the
+	// RX ring — even a tiny one — never fills: the request-count bound
+	// must not misfire on a stage with no backlog. (The old time-based
+	// bound got this right only by accident, by disabling itself.)
+	w := workload.Fixed("tiny", 100*sim.Nanosecond)
+	p := NewTQParams()
+	p.DispatchCost = 0
+	p.RXQueue = 4
+	p.Workers = 64
+	p.Coroutines = 16
+	res := NewTQ(p).Run(RunConfig{
+		Workload: w,
+		Rate:     50e6,
+		Duration: 2 * sim.Millisecond,
+		Warmup:   0,
+		Seed:     1,
+	})
+	if res.Dropped != 0 {
+		t.Fatalf("free dispatcher dropped %d requests", res.Dropped)
+	}
+	if res.Offered != res.Completed {
+		t.Fatalf("offered %d != completed %d with no drops", res.Offered, res.Completed)
 	}
 }
 

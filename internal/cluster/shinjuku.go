@@ -95,6 +95,7 @@ type sjRun struct {
 	eng     *sim.Engine
 	cfg     RunConfig
 	met     *metrics
+	adm     *admission
 	pool    jobPool
 	queue   core.FIFO[*job]
 	workers []sjWorker
@@ -175,6 +176,7 @@ func (s *Shinjuku) run(cfg RunConfig) (*Result, *stats.Sample) {
 		gen:      workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
 		achieved: stats.NewSample(1024),
 	}
+	r.adm = r.met.admission(s.P.RXQueue, 1)
 	for w := range r.workers {
 		r.idle = append(r.idle, w)
 	}
@@ -192,8 +194,11 @@ func (r *sjRun) scheduleNextArrival() {
 	}
 	r.eng.At(req.Arrival, func() {
 		r.scheduleNextArrival()
-		// A saturated dispatcher drops packets at the RX ring.
-		if r.m.P.RXQueue > 0 && r.netOps.Len() >= r.m.P.RXQueue {
+		// A saturated dispatcher drops packets at the RX ring. The
+		// ring holds incoming requests only — outgoing responses use
+		// their own TX descriptors — and the request occupies its slot
+		// until the dispatcher's packet-processing op finishes with it.
+		if !r.adm.tryAdmit(0, req.Arrival) {
 			return
 		}
 		j := r.pool.get()
@@ -203,7 +208,10 @@ func (r *sjRun) scheduleNextArrival() {
 		j.base = req.Service
 		j.service = req.Service
 		j.remain = req.Service
-		r.dispatcherOp(false, r.m.P.NetCost, func() { r.enqueue(j) })
+		r.dispatcherOp(false, r.m.P.NetCost, func() {
+			r.adm.release(0)
+			r.enqueue(j)
+		})
 	})
 }
 

@@ -175,6 +175,30 @@ func SlowdownSeries(label, class string, results []*Result) stats.Series {
 	return s
 }
 
+// GoodputSeries extracts a (offered rate, goodput rps) curve from
+// sweep results. Without SLO targets goodput equals throughput, so the
+// curve shows where completions stop tracking offered load; with
+// targets it shows where completions stop being useful.
+func GoodputSeries(label string, results []*Result) stats.Series {
+	s := stats.Series{Label: label}
+	for _, r := range results {
+		s.Append(r.Config.Rate, r.Goodput)
+	}
+	return s
+}
+
+// DropRateSeries extracts a (offered rate, drop fraction) curve from
+// sweep results — the companion every past-the-knee latency curve
+// needs, since survivor-only percentiles flatten exactly when the RX
+// ring starts shedding load.
+func DropRateSeries(label string, results []*Result) stats.Series {
+	s := stats.Series{Label: label}
+	for _, r := range results {
+		s.Append(r.Config.Rate, r.DropRate)
+	}
+	return s
+}
+
 // MaxRateUnder scans rates in ascending order and returns the highest
 // rate whose result satisfies ok, stopping at the first violation
 // (latency-vs-load curves are monotone once they knee). Returns 0 if

@@ -156,6 +156,7 @@ type tqRun struct {
 	cfg     RunConfig
 	rand    *rng.Rand
 	met     *metrics
+	adm     *admission
 	pool    jobPool
 	workers []tqWorker
 	tracker *core.LoadTracker
@@ -224,6 +225,7 @@ func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
 		nDisp = 1
 	}
 	r.dispBusyUntil = make([]sim.Time, nDisp)
+	r.adm = r.met.admission(t.P.RXQueue, nDisp)
 	r.scheduleNextArrival()
 	r.eng.Run()
 	res := r.met.result(t.name, t.P.RTT)
@@ -273,8 +275,11 @@ func (r *tqRun) arrive(req workload.Request) {
 		d = r.rss.Steer(req.ID, len(r.dispBusyUntil))
 	}
 	r.emit(trace.Event{T: now, Kind: trace.Arrive, Job: req.ID, Class: int(req.Class), Worker: -1})
-	if r.m.P.RXQueue > 0 && r.m.P.DispatchCost > 0 &&
-		r.dispBusyUntil[d]-now > sim.Time(r.m.P.RXQueue)*r.m.P.DispatchCost {
+	// The RX ring bounds the dispatcher's backlog in requests — a ring
+	// holds descriptors, not time — so the bound applies even when
+	// DispatchCost is zero. The request occupies its slot until the
+	// dispatcher picks it up.
+	if !r.adm.tryAdmit(d, req.Arrival) {
 		// RX ring overflow: the packet is dropped.
 		r.emit(trace.Event{T: now, Kind: trace.Drop, Job: req.ID, Class: int(req.Class), Worker: -1})
 		return
@@ -290,7 +295,10 @@ func (r *tqRun) arrive(req workload.Request) {
 	j.base = req.Service
 	j.service = req.Service + sim.Time(float64(req.Service)*r.m.P.ProbeOverhead)
 	j.remain = j.service
-	r.eng.At(r.dispBusyUntil[d], func() { r.dispatch(j) })
+	r.eng.At(r.dispBusyUntil[d], func() {
+		r.adm.release(d)
+		r.dispatch(j)
+	})
 }
 
 // dispatch runs after the dispatcher's processing delay: pick a worker
@@ -350,11 +358,16 @@ func (r *tqRun) step(w int) {
 		slice = q
 	}
 	// The quantum runs, then the task yields back to the scheduler
-	// coroutine (one switch costs YieldOverhead).
+	// coroutine (one switch costs YieldOverhead). The job stops
+	// executing — and, on its last quantum, its response leaves the
+	// worker — at the quantum's end; the yield cost that follows is
+	// scheduler overhead, charged to the worker but not to the job's
+	// sojourn, so Finish and QuantumEnd share one timestamp.
 	now := r.eng.Now()
+	end := now + admitCost + slice
 	r.emit(trace.Event{T: now + admitCost, Kind: trace.QuantumStart, Job: j.id, Class: int(j.class), Worker: w})
 	r.eng.After(admitCost+slice+r.m.P.YieldOverhead, func() {
-		r.emit(trace.Event{T: now + admitCost + slice, Kind: trace.QuantumEnd, Job: j.id, Class: int(j.class), Worker: w})
+		r.emit(trace.Event{T: end, Kind: trace.QuantumEnd, Job: j.id, Class: int(j.class), Worker: w})
 		if slice >= q && j.remain > q {
 			// A true preemption: the realized interval includes the
 			// switch cost — what Figure 16 compares to the target.
@@ -369,8 +382,8 @@ func (r *tqRun) step(w int) {
 			wk.curQuanta -= j.quanta
 			wk.finished++
 			wk.idle++
-			r.emit(trace.Event{T: r.eng.Now(), Kind: trace.Finish, Job: j.id, Class: int(j.class), Worker: w})
-			r.met.record(j, r.eng.Now())
+			r.emit(trace.Event{T: end, Kind: trace.Finish, Job: j.id, Class: int(j.class), Worker: w})
+			r.met.record(j, end)
 			r.pool.put(j)
 		} else {
 			wk.pushRunnable(r.m.P.Policy, j)

@@ -39,6 +39,12 @@ type Scale struct {
 	// (serialized, in completion order) — the cmd tools print these so
 	// long Full runs are observable.
 	Progress func(cluster.SweepPoint)
+	// SLOs, when non-empty, sets per-class sojourn targets (key "*" is
+	// the wildcard) on every machine the drivers sweep, so each Result
+	// carries goodput alongside throughput. Empty leaves every figure
+	// byte-identical to an SLO-less run: goodput then just equals
+	// throughput.
+	SLOs map[string]sim.Time
 }
 
 // opts translates the scale into sweep-runner options.
@@ -54,10 +60,19 @@ func (sc Scale) effectiveWorkers() int {
 	return sc.Workers
 }
 
+// withSLOs applies the scale's SLO targets to every machine the
+// factory builds; a no-op when none are set.
+func (sc Scale) withSLOs(mf cluster.MachineFactory) cluster.MachineFactory {
+	if len(sc.SLOs) == 0 {
+		return mf
+	}
+	return func() cluster.Machine { return cluster.WithSLOs(mf(), sc.SLOs) }
+}
+
 // sweep runs one load sweep at the scale's parallelism, one fresh
 // machine per point.
 func (sc Scale) sweep(mf cluster.MachineFactory, w *workload.Workload, rates []float64) []*cluster.Result {
-	return cluster.ParallelSweep(mf, w, rates, sc.Duration, sc.Warmup, sc.Seed, sc.opts())
+	return cluster.ParallelSweep(sc.withSLOs(mf), w, rates, sc.Duration, sc.Warmup, sc.Seed, sc.opts())
 }
 
 // maxRateUnder finds the highest rate satisfying ok. With one worker it
@@ -65,6 +80,7 @@ func (sc Scale) sweep(mf cluster.MachineFactory, w *workload.Workload, rates []f
 // points); with more it speculatively runs the whole grid in parallel.
 // Both return the same rate for the same grid and seed.
 func (sc Scale) maxRateUnder(mf cluster.MachineFactory, w *workload.Workload, rates []float64, ok func(*cluster.Result) bool) float64 {
+	mf = sc.withSLOs(mf)
 	if sc.effectiveWorkers() == 1 {
 		return cluster.MaxRateUnder(mf(), w, rates, sc.Duration, sc.Warmup, sc.Seed, ok)
 	}
@@ -179,6 +195,12 @@ type SystemComparison struct {
 	// OverallSlowdown, when set, is the pooled p99.9 slowdown curve
 	// per system (reported for TPC-C, Figure 8).
 	OverallSlowdown []stats.Series
+	// Goodput and DropRate are the overload companions to the latency
+	// curves, one series per system: survivor-only percentiles flatten
+	// exactly where the RX rings start shedding load, and these curves
+	// show it. Without Scale.SLOs, goodput equals throughput.
+	Goodput  []stats.Series
+	DropRate []stats.Series
 }
 
 // compareSystems sweeps TQ, Shinjuku (at its per-workload quantum) and
@@ -203,6 +225,16 @@ func compareSystems(sc Scale, w *workload.Workload, shinjukuQ sim.Time, classes 
 			cluster.SlowdownSeries("Shinjuku", "", sjRes),
 			cluster.SlowdownSeries("Caladan", "", calRes),
 		}
+	}
+	cmp.Goodput = []stats.Series{
+		cluster.GoodputSeries("TQ", tqRes),
+		cluster.GoodputSeries("Shinjuku", sjRes),
+		cluster.GoodputSeries("Caladan", calRes),
+	}
+	cmp.DropRate = []stats.Series{
+		cluster.DropRateSeries("TQ", tqRes),
+		cluster.DropRateSeries("Shinjuku", sjRes),
+		cluster.DropRateSeries("Caladan", calRes),
 	}
 	return cmp
 }

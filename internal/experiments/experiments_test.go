@@ -175,6 +175,45 @@ func TestScaleWorkersSequentialAndParallelAgree(t *testing.T) {
 	}
 }
 
+func TestCompareSystemsOverloadSeries(t *testing.T) {
+	// Every cross-system comparison now carries goodput and drop-rate
+	// curves alongside the latency curves, one per system, with sane
+	// ranges. Setting Scale.SLOs must lower goodput (Long jobs take
+	// ~100µs of service, so a 20µs target is unmeetable for them) while
+	// leaving every latency curve byte-identical: the SLO wrapper only
+	// classifies completions, it never changes the simulation.
+	sc := tiny
+	w := workload.ExtremeBimodal()
+	plain := compareSystems(sc, w, sim.Micros(5), []string{"Short", "Long"}, false)
+	if len(plain.Goodput) != 3 || len(plain.DropRate) != 3 {
+		t.Fatalf("got %d goodput / %d drop-rate curves, want 3 each",
+			len(plain.Goodput), len(plain.DropRate))
+	}
+	for i := range plain.Goodput {
+		if len(plain.Goodput[i].Y) != sc.Points {
+			t.Fatalf("%s goodput curve has %d points, want %d",
+				plain.Goodput[i].Label, len(plain.Goodput[i].Y), sc.Points)
+		}
+		for _, v := range plain.DropRate[i].Y {
+			if v < 0 || v > 1 {
+				t.Fatalf("%s drop rate %v outside [0,1]", plain.DropRate[i].Label, v)
+			}
+		}
+	}
+
+	strict := sc
+	strict.SLOs = map[string]sim.Time{"*": sim.Micros(20)}
+	slod := compareSystems(strict, w, sim.Micros(5), []string{"Short", "Long"}, false)
+	last := sc.Points - 1
+	if slod.Goodput[0].Y[last] >= plain.Goodput[0].Y[last] {
+		t.Fatalf("20µs SLO did not lower TQ goodput: %v vs %v",
+			slod.Goodput[0].Y[last], plain.Goodput[0].Y[last])
+	}
+	if !reflect.DeepEqual(slod.PerClass, plain.PerClass) {
+		t.Fatal("setting SLOs changed the latency curves")
+	}
+}
+
 func maxUnderSLOXY(x, y []float64, slo float64) float64 {
 	best := 0.0
 	for i := range x {

@@ -27,12 +27,32 @@ type ClientConfig struct {
 	// Next produces each request's kind and payload. The payload is
 	// copied before sending, so it may be reused.
 	Next func(r *rng.Rand) (kind uint16, payload []byte)
+	// Timeout, when positive, enables client-side retries — the
+	// behaviour real benchmark clients have: a request with no
+	// response within Timeout is resubmitted, waiting Timeout before
+	// the first resend and doubling the wait for each one after
+	// (capped at BackoffCap), until Retries resubmissions have been
+	// spent and the request is abandoned. Latency is always measured
+	// from the first send, and duplicate responses are discarded.
+	// Zero — the default — disables all of this: the client is purely
+	// open-loop and every response counts, exactly as before.
+	Timeout time.Duration
+	// Retries caps resubmissions per request; <= 0 means 3 when
+	// Timeout is set.
+	Retries int
+	// BackoffCap bounds the resend wait; <= 0 means 8x Timeout.
+	BackoffCap time.Duration
 }
 
 // KindStats aggregates one request kind's outcomes.
 type KindStats struct {
 	Sent, Received uint64
-	// Latencies holds end-to-end durations in receive order.
+	// Retried counts resubmissions of timed-out requests; Abandoned
+	// counts requests given up on after the retry budget. Both stay
+	// zero unless ClientConfig.Timeout enables retries.
+	Retried, Abandoned uint64
+	// Latencies holds end-to-end durations in receive order, measured
+	// from each request's first send.
 	Latencies []time.Duration
 }
 
@@ -63,6 +83,16 @@ func (r *Report) Kind(k uint16) *KindStats {
 	return s
 }
 
+// pendingReq tracks one outstanding request while retries are enabled.
+type pendingReq struct {
+	kind     uint16
+	payload  []byte
+	firstNs  int64
+	attempts int
+	deadline time.Time
+	backoff  time.Duration
+}
+
 // RunClient generates load against cfg.Addr and returns the report.
 func RunClient(cfg ClientConfig) (*Report, error) {
 	if cfg.Rate <= 0 || cfg.Duration <= 0 || cfg.Next == nil {
@@ -76,6 +106,17 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 
 	report := &Report{PerKind: map[uint16]*KindStats{}}
 	var mu sync.Mutex
+
+	retry := cfg.Timeout > 0
+	maxRetries := cfg.Retries
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	backoffCap := cfg.BackoffCap
+	if backoffCap <= 0 {
+		backoffCap = 8 * cfg.Timeout
+	}
+	pending := map[uint64]*pendingReq{}
 
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -98,14 +139,73 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 			if err != nil {
 				continue
 			}
-			e2e := time.Duration(time.Now().UnixNano() - resp.SentNs)
+			nowNs := time.Now().UnixNano()
 			mu.Lock()
+			sentNs := resp.SentNs
+			if retry {
+				p, outstanding := pending[resp.ID]
+				if !outstanding {
+					// Duplicate of an answered request, or a straggler
+					// for an abandoned one: real clients discard both.
+					mu.Unlock()
+					continue
+				}
+				delete(pending, resp.ID)
+				sentNs = p.firstNs
+			}
 			ks := report.Kind(resp.Kind)
 			ks.Received++
-			ks.Latencies = append(ks.Latencies, e2e)
+			ks.Latencies = append(ks.Latencies, time.Duration(nowNs-sentNs))
 			mu.Unlock()
 		}
 	}()
+
+	// The retry scanner resubmits timed-out requests. It keeps running
+	// through the drain so late responses still cancel resends.
+	if retry {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := cfg.Timeout / 2
+			if tick < time.Millisecond {
+				tick = time.Millisecond
+			}
+			ticker := time.NewTicker(tick)
+			defer ticker.Stop()
+			var pkt []byte
+			for {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+				}
+				now := time.Now()
+				// Decide under the lock, resend outside it.
+				var out []Request
+				mu.Lock()
+				for id, p := range pending {
+					if now.Before(p.deadline) {
+						continue
+					}
+					if p.attempts >= maxRetries {
+						delete(pending, id)
+						report.Kind(p.kind).Abandoned++
+						continue
+					}
+					p.attempts++
+					p.deadline = now.Add(p.backoff)
+					p.backoff = min(2*p.backoff, backoffCap)
+					report.Kind(p.kind).Retried++
+					out = append(out, Request{ID: id, SentNs: p.firstNs, Kind: p.kind, Payload: p.payload})
+				}
+				mu.Unlock()
+				for i := range out {
+					pkt = EncodeRequest(pkt[:0], &out[i])
+					conn.Write(pkt)
+				}
+			}
+		}()
+	}
 
 	r := rng.New(cfg.Seed)
 	meanGap := float64(time.Second) / cfg.Rate
@@ -122,7 +222,25 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 		id++
 		req := Request{ID: id, SentNs: time.Now().UnixNano(), Kind: kind, Payload: payload}
 		pkt = EncodeRequest(pkt[:0], &req)
+		if retry {
+			// Register before sending so the response can never beat
+			// the bookkeeping; unregister if the send fails.
+			mu.Lock()
+			pending[id] = &pendingReq{
+				kind:     kind,
+				payload:  append([]byte(nil), payload...),
+				firstNs:  req.SentNs,
+				deadline: time.Now().Add(cfg.Timeout),
+				backoff:  min(2*cfg.Timeout, backoffCap),
+			}
+			mu.Unlock()
+		}
 		if _, err := conn.Write(pkt); err != nil {
+			if retry {
+				mu.Lock()
+				delete(pending, id)
+				mu.Unlock()
+			}
 			continue
 		}
 		mu.Lock()

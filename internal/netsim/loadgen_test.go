@@ -79,6 +79,106 @@ func TestRunClientAgainstEcho(t *testing.T) {
 	}
 }
 
+// lossyEchoServer swallows the first attempt of every third request
+// (by ID), so only clients that retransmit ever get those responses.
+func lossyEchoServer(t *testing.T) (*net.UDPAddr, func()) {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 2048)
+		var out []byte
+		seen := map[uint64]bool{}
+		for {
+			n, client, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			req, err := DecodeRequest(buf[:n])
+			if err != nil {
+				continue
+			}
+			if req.ID%3 == 0 && !seen[req.ID] {
+				seen[req.ID] = true
+				continue
+			}
+			resp := Response{ID: req.ID, SentNs: req.SentNs, Kind: req.Kind, ServerNs: 1}
+			out = EncodeResponse(out[:0], &resp)
+			conn.WriteToUDP(out, client)
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr), func() {
+		conn.Close()
+		wg.Wait()
+	}
+}
+
+func TestRunClientRetriesRecoverLosses(t *testing.T) {
+	addr, stop := lossyEchoServer(t)
+	defer stop()
+	report, err := RunClient(ClientConfig{
+		Addr:     addr,
+		Rate:     500,
+		Duration: 300 * time.Millisecond,
+		Drain:    400 * time.Millisecond,
+		Seed:     1,
+		Timeout:  30 * time.Millisecond,
+		Next: func(r *rng.Rand) (uint16, []byte) {
+			return 1, []byte("key0")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := report.Kind(1)
+	if ks.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if ks.Retried == 0 {
+		t.Fatal("server dropped a third of first attempts but the client never retried")
+	}
+	// Retries must recover nearly everything the server swallowed.
+	if ks.Received < ks.Sent*9/10 {
+		t.Fatalf("received %d of %d despite retries", ks.Received, ks.Sent)
+	}
+	if ks.Quantile(0.5) <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func TestRunClientRetriesOffByDefault(t *testing.T) {
+	addr, stop := lossyEchoServer(t)
+	defer stop()
+	report, err := RunClient(ClientConfig{
+		Addr:     addr,
+		Rate:     500,
+		Duration: 200 * time.Millisecond,
+		Drain:    100 * time.Millisecond,
+		Seed:     2,
+		Next: func(r *rng.Rand) (uint16, []byte) {
+			return 1, []byte("key0")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := report.Kind(1)
+	if ks.Retried != 0 || ks.Abandoned != 0 {
+		t.Fatalf("retry counters moved without a timeout: retried=%d abandoned=%d",
+			ks.Retried, ks.Abandoned)
+	}
+	// A third of the requests never get a response; without retries the
+	// losses must be visible, not silently recovered.
+	if ks.Received >= ks.Sent {
+		t.Fatalf("received %d of %d from a lossy server without retries", ks.Received, ks.Sent)
+	}
+}
+
 func TestKindStatsQuantileEmpty(t *testing.T) {
 	var ks KindStats
 	if ks.Quantile(0.99) != 0 {

@@ -1,6 +1,7 @@
 package tqrt
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -351,6 +352,53 @@ func TestPinnedWorkersComplete(t *testing.T) {
 	rt.Stop()
 	if done.Load() != 100 {
 		t.Fatalf("pinned workers completed %d/100", done.Load())
+	}
+}
+
+func TestStopWithInFlightProbingTasks(t *testing.T) {
+	// Stop while tasks are mid-execution and actively probing: the
+	// shutdown sequence (reject new work, wait for in-flight tasks,
+	// drain the dispatcher, join the workers) must not race or deadlock
+	// against yields in progress. Run under -race across worker counts;
+	// submissions race with Stop from a second goroutine so arrivals
+	// land on both sides of the stopped flag.
+	for _, workers := range []int{1, 2, 4, 8} {
+		rt := New(Config{Workers: workers, Coroutines: 4, Quantum: 20 * time.Microsecond})
+		rt.Start()
+		var started, done atomic.Int64
+		var submitted atomic.Int64
+		stopReq := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				err := rt.Submit(func(y *Yield) {
+					started.Add(1)
+					spin(y, 300*time.Microsecond, 10*time.Microsecond)
+					done.Add(1)
+				})
+				if err != nil {
+					return // Stop won the race; ErrStopped is the contract.
+				}
+				submitted.Add(1)
+				if i == 2*workers {
+					close(stopReq) // enough in flight to make Stop contend
+				}
+			}
+		}()
+		<-stopReq
+		rt.Stop()
+		wg.Wait()
+		if got, want := done.Load(), submitted.Load(); got != want {
+			t.Fatalf("workers=%d: Stop lost tasks: %d done of %d accepted", workers, got, want)
+		}
+		if started.Load() == 0 {
+			t.Fatalf("workers=%d: no task ever ran", workers)
+		}
+		if err := rt.Submit(func(y *Yield) {}); err != ErrStopped {
+			t.Fatalf("workers=%d: Submit after Stop = %v, want ErrStopped", workers, err)
+		}
 	}
 }
 

@@ -53,12 +53,15 @@ type Event struct {
 // Recorder accumulates events up to a cap (0 = 1<<20). The zero value
 // is ready to use.
 type Recorder struct {
-	Max    int
-	events []Event
+	Max       int
+	events    []Event
+	discarded int
 }
 
 // Emit appends an event; once Max is reached further events are
-// silently discarded (the recorder is a debugging aid, not a metric).
+// discarded (the recorder is a debugging aid, not a metric) and the
+// discard is counted, so consumers can tell a complete timeline from
+// a capped prefix via Truncated.
 func (r *Recorder) Emit(e Event) {
 	max := r.Max
 	if max == 0 {
@@ -66,7 +69,9 @@ func (r *Recorder) Emit(e Event) {
 	}
 	if len(r.events) < max {
 		r.events = append(r.events, e)
+		return
 	}
+	r.discarded++
 }
 
 // Events returns the recorded events in emission order.
@@ -74,6 +79,14 @@ func (r *Recorder) Events() []Event { return r.events }
 
 // Len reports the number of recorded events.
 func (r *Recorder) Len() int { return len(r.events) }
+
+// Truncated reports whether the cap discarded any events: the
+// recording is then a strict prefix of the run's timeline, not the
+// whole of it.
+func (r *Recorder) Truncated() bool { return r.discarded > 0 }
+
+// Discarded returns how many events the cap discarded.
+func (r *Recorder) Discarded() int { return r.discarded }
 
 // chromeEvent is the Trace Event Format's "complete" (X) or "instant"
 // (i) record.
@@ -135,9 +148,19 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 }
 
 // Validate checks per-job lifecycle ordering: arrive <= dispatch <=
-// first quantum, quanta strictly ordered, finish last. It returns the
-// first violation found, or nil — used by tests as a machine-model
+// first quantum, quanta strictly ordered, finish last and at the same
+// instant as the job's final quantum end (the response leaves the
+// worker when the job stops executing; a later Finish would charge
+// scheduler overhead to the job's lifetime). It returns the first
+// violation found, or nil — used by tests as a machine-model
 // invariant.
+//
+// A truncated recording (see Truncated) is still validated soundly:
+// the cap discards events strictly from the tail, so the recording is
+// a prefix of the full timeline, every recorded transition is a real
+// one, and jobs whose later events fell past the cap are simply
+// checked as far as the recording goes. No violation is ever reported
+// merely because the recording was capped.
 func (r *Recorder) Validate() error {
 	type jobState struct {
 		last  Kind
@@ -174,6 +197,10 @@ func (r *Recorder) Validate() error {
 		case Finish:
 			if js.last != QuantumEnd {
 				return fmt.Errorf("event %d: job %d finished after %v", i, e.Job, js.last)
+			}
+			if e.T != js.lastT {
+				return fmt.Errorf("event %d: job %d finished at %d but its last quantum ended at %d",
+					i, e.Job, e.T, js.lastT)
 			}
 		case Drop:
 			if js.last != Arrive {

@@ -32,6 +32,37 @@ func TestRecorderCapsEvents(t *testing.T) {
 	}
 }
 
+func TestRecorderTruncationIsCountedAndSound(t *testing.T) {
+	// A recorder that never hits its cap reports a complete timeline.
+	full := Recorder{Max: 10}
+	for _, e := range lifecycle(1, 0, 0, 10, 20, 30, 30) {
+		full.Emit(e)
+	}
+	if full.Truncated() || full.Discarded() != 0 {
+		t.Fatalf("uncapped recording reports truncation: %v/%d", full.Truncated(), full.Discarded())
+	}
+
+	// Cap mid-lifecycle: the discard is counted, the recording is a
+	// prefix, and Validate still accepts it — a job whose later events
+	// fell past the cap is not a violation.
+	capped := Recorder{Max: 3}
+	for _, e := range lifecycle(1, 0, 0, 10, 20, 30, 30) {
+		capped.Emit(e)
+	}
+	if !capped.Truncated() {
+		t.Fatal("capped recording not flagged as truncated")
+	}
+	if capped.Discarded() != 2 {
+		t.Fatalf("Discarded = %d, want 2", capped.Discarded())
+	}
+	if capped.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", capped.Len())
+	}
+	if err := capped.Validate(); err != nil {
+		t.Fatalf("capped prefix rejected: %v", err)
+	}
+}
+
 func TestValidateAcceptsWellFormed(t *testing.T) {
 	var r Recorder
 	for _, e := range lifecycle(1, 0, 0, 10, 20, 30, 30) {
@@ -77,6 +108,13 @@ func TestValidateCatchesViolations(t *testing.T) {
 			{T: sim.Time(0), Kind: Arrive, Job: 1},
 			{T: sim.Time(1), Kind: Dispatch, Job: 1},
 			{T: sim.Time(2), Kind: Drop, Job: 1},
+		},
+		"finish after quantum end instant": {
+			{T: sim.Time(0), Kind: Arrive, Job: 1},
+			{T: sim.Time(1), Kind: Dispatch, Job: 1},
+			{T: sim.Time(2), Kind: QuantumStart, Job: 1},
+			{T: sim.Time(5), Kind: QuantumEnd, Job: 1},
+			{T: sim.Time(7), Kind: Finish, Job: 1},
 		},
 	}
 	for name, evs := range cases {
