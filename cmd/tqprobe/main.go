@@ -19,6 +19,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	program := flag.String("program", "", "run a single named program instead of the suite")
 	bound := flag.Int64("bound", instrument.DefaultBound, "TQ pass max uninstrumented path length")
+	verifyFlag := flag.Bool("verify", false, "also print the static probe-gap verification verdicts")
 	flag.Parse()
 
 	if *program != "" {
@@ -31,6 +32,18 @@ func main() {
 		} {
 			fmt.Printf("%-10s overhead=%6.2f%%  MAE=%7.0fns  probes=%4d (dynamic %d)  yields=%d\n",
 				m.Technique, m.OverheadPct, m.MAEns, m.StaticProbes, m.DynamicProbes, m.Yields)
+			if *verifyFlag {
+				verdict := "REFUTED"
+				if m.Verified && (m.GapGuarantee == 0 || m.StaticGap <= m.GapGuarantee) {
+					verdict = "PROVED"
+				}
+				fmt.Printf("%-10s verify: %s, worst static probe gap %d weighted instructions",
+					"", verdict, m.StaticGap)
+				if m.GapGuarantee > 0 {
+					fmt.Printf(" (guarantee %d)", m.GapGuarantee)
+				}
+				fmt.Println()
+			}
 		}
 		return
 	}
@@ -42,4 +55,9 @@ func main() {
 	rows := instrument.Table3(*scale, *seed)
 	fmt.Println("# Table 3: probing overhead and yield-timing MAE, 2µs quantum")
 	fmt.Print(instrument.Format(rows))
+	if *verifyFlag {
+		fmt.Println()
+		fmt.Println("# Static verification: worst probe gap over ALL paths (weighted instructions)")
+		fmt.Print(instrument.FormatVerify(rows))
+	}
 }

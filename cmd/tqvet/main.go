@@ -1,0 +1,142 @@
+// Tqvet runs the tqvet analyzer (internal/analysis/tqvet) over Go
+// source directories: it flags tqrt task bodies that can overrun their
+// quantum (loops with probe-free iteration paths), block their worker
+// (channel ops, selects without default, sleeps, lock/wait calls), or
+// carry unreachable probes.
+//
+// Usage:
+//
+//	go run ./cmd/tqvet ./examples/... ./cmd/...
+//
+// Arguments are directories; a trailing /... recurses. With no
+// arguments it checks ./... . Findings print as
+// file:line:col: category: message and make the exit status 1; a
+// `//tqvet:ignore <why>` comment on the offending line or the line
+// above suppresses a finding.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/tqvet"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs, err := expandDirs(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tqvet:", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	findings := 0
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqvet:", err)
+			os.Exit(2)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pass := &tqvet.Pass{
+			Fset:  fset,
+			Files: files,
+			Report: func(d tqvet.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				fmt.Printf("%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Category, d.Message)
+				findings++
+			},
+		}
+		if err := tqvet.Checker.Run(pass); err != nil {
+			fmt.Fprintln(os.Stderr, "tqvet:", err)
+			os.Exit(2)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "tqvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// expandDirs resolves the argument patterns into a sorted, de-duplicated
+// directory list; "dir/..." recurses.
+func expandDirs(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, arg := range args {
+		root, recurse := strings.CutSuffix(arg, "/...")
+		if root == "" || root == "." {
+			root = "."
+		}
+		info, err := os.Stat(root)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", root)
+		}
+		if !recurse {
+			add(filepath.Clean(root))
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(filepath.Clean(path))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses every .go file directly inside dir (comments
+// included — suppression markers live there).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,507 @@
+// Package tqvet statically checks Go code that runs tasks on the live
+// Tiny Quanta runtime (internal/tqrt). It is the source-level
+// counterpart of the IR verifier in internal/verify: where that proves
+// the probe-gap invariant over instrumented IR, tqvet flags the ways a
+// hand-written task body can break blind scheduling —
+//
+//   - a loop in a task that can complete an iteration without reaching
+//     a probe (the task would hog its worker past the quantum);
+//   - blocking operations inside a task (channel sends/receives,
+//     selects without a default, time.Sleep, mutex/WaitGroup waits):
+//     a blocked task stalls the whole worker, defeating µs-scale
+//     scheduling;
+//   - probe calls that are unreachable behind early returns or breaks
+//     (the author believes the task probes, but it cannot).
+//
+// The analysis is syntactic and deliberately conservative in what it
+// assumes probes: a direct y.Probe() call, any call that receives the
+// yield as an argument (the callee may probe), and any call passed a
+// closure that captures the yield. Findings can be suppressed with a
+// `//tqvet:ignore <why>` comment on the offending line or the line
+// above.
+//
+// The Analyzer/Pass/Diagnostic types mirror the shape of
+// golang.org/x/tools/go/analysis so the checker can be lifted onto
+// that driver when vendoring it is an option; here the self-contained
+// driver in cmd/tqvet runs it with only the standard library.
+package tqvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Pass holds the per-package inputs and the report sink.
+type Pass struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Report func(Diagnostic)
+}
+
+// Analyzer describes a check, go/analysis-style.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Checker is the tqvet analyzer.
+var Checker = &Analyzer{
+	Name: "tqvet",
+	Doc:  "report tqrt task bodies that can overrun their quantum or block the worker",
+	Run:  run,
+}
+
+func run(pass *Pass) error {
+	for _, file := range pass.Files {
+		names := tqrtImports(file)
+		if len(names) == 0 {
+			continue
+		}
+		ignore := ignoreLines(pass.Fset, file)
+		report := func(pos token.Pos, category, format string, args ...any) {
+			line := pass.Fset.Position(pos).Line
+			if ignore[line] || ignore[line-1] {
+				return
+			}
+			pass.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var typ *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				typ, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				typ, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			yields := yieldParams(typ, names)
+			if len(yields) == 0 || body == nil {
+				return true
+			}
+			checkTask(body, yields, report)
+			return true
+		})
+	}
+	return nil
+}
+
+// tqrtImports returns the local names under which the file imports the
+// tqrt runtime package.
+func tqrtImports(file *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != "repro/internal/tqrt" && !strings.HasSuffix(path, "/internal/tqrt") {
+			continue
+		}
+		name := "tqrt"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name != "_" && name != "." {
+			names[name] = true
+		}
+	}
+	return names
+}
+
+// yieldParams returns the names of parameters typed *pkg.Yield for any
+// recognized tqrt import name — the marker that a function is a task
+// body (or a helper called with the task's yield).
+func yieldParams(typ *ast.FuncType, pkgs map[string]bool) map[string]bool {
+	yields := map[string]bool{}
+	if typ.Params == nil {
+		return yields
+	}
+	for _, field := range typ.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Yield" {
+			continue
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || !pkgs[pkg.Name] {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				yields[name.Name] = true
+			}
+		}
+	}
+	return yields
+}
+
+// ignoreLines collects the lines carrying a `//tqvet:ignore` marker.
+func ignoreLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "tqvet:ignore") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+type reporter func(pos token.Pos, category, format string, args ...any)
+
+// checkTask runs all three checks over one task body. Nested function
+// literals that declare their own yield parameter are separate tasks
+// (the file walk finds them independently) and are skipped here;
+// literals that merely capture this task's yield are part of it.
+func checkTask(body *ast.BlockStmt, yields map[string]bool, report reporter) {
+	// Channel operations that are a select's comm clause are reported
+	// through the select check, not individually.
+	inComm := map[token.Pos]bool{}
+	walkTask(body, yields, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					switch v := m.(type) {
+					case *ast.SendStmt:
+						inComm[v.Pos()] = true
+					case *ast.UnaryExpr:
+						if v.Op == token.ARROW {
+							inComm[v.Pos()] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	})
+	walkTask(body, yields, func(n ast.Node) {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			checkLoop(s.Pos(), s.Body, yields, report)
+		case *ast.RangeStmt:
+			checkLoop(s.Pos(), s.Body, yields, report)
+		case *ast.SendStmt:
+			if !inComm[s.Pos()] {
+				report(s.Pos(), "blocking", "channel send inside a task blocks the whole worker; hand the value off outside the task or use a buffered, non-full channel via select+default")
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW && !inComm[s.Pos()] {
+				report(s.Pos(), "blocking", "channel receive inside a task blocks the whole worker")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(s) {
+				report(s.Pos(), "blocking", "select without default inside a task blocks the whole worker")
+			}
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				if x, ok := sel.X.(*ast.Ident); ok && x.Name == "time" && sel.Sel.Name == "Sleep" {
+					report(s.Pos(), "blocking", "time.Sleep inside a task stalls the worker; yield instead and let the scheduler run other tasks")
+				} else if name := sel.Sel.Name; name == "Lock" || name == "RLock" || name == "Wait" {
+					report(s.Pos(), "blocking", "%s.%s() may block inside a task; a blocked task stalls its worker for every queued task", exprText(sel.X), name)
+				}
+			}
+		case *ast.BlockStmt:
+			checkDeadProbes(s.List, yields, report)
+		case *ast.CaseClause:
+			checkDeadProbes(s.Body, yields, report)
+		case *ast.CommClause:
+			checkDeadProbes(s.Body, yields, report)
+		}
+	})
+}
+
+// walkTask visits every node of a task body except nested function
+// literals that declare their own yield parameter.
+func walkTask(body *ast.BlockStmt, yields map[string]bool, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && declaresOwnYield(lit.Type) {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// declaresOwnYield reports whether a function literal takes a *X.Yield
+// parameter of its own (any package name: the import set is not in
+// scope here, and a false positive only skips a re-analysis).
+func declaresOwnYield(typ *ast.FuncType) bool {
+	if typ.Params == nil {
+		return false
+	}
+	for _, field := range typ.Params.List {
+		if star, ok := field.Type.(*ast.StarExpr); ok {
+			if sel, ok := star.X.(*ast.SelectorExpr); ok && sel.Sel.Name == "Yield" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- must-probe path analysis -----------------------------------------
+
+// verdict is the three-valued result of the backward path analysis over
+// a loop body: does executing this statement (list) guarantee the
+// iteration probes or leaves the loop?
+type verdict int
+
+const (
+	// fallThrough: execution continues to the next statement with no
+	// probe yet.
+	fallThrough verdict = iota
+	// probesOrExits: every path through the statement probes, returns,
+	// or breaks out of the loop.
+	probesOrExits
+	// continuesUnprobed: some path reaches the next iteration (via
+	// continue) without a probe.
+	continuesUnprobed
+)
+
+// checkLoop reports a loop whose body can complete an iteration without
+// reaching a probe.
+func checkLoop(pos token.Pos, body *ast.BlockStmt, yields map[string]bool, report reporter) {
+	if listVerdict(body.List, yields) != probesOrExits {
+		report(pos, "loop-no-probe", "loop can complete an iteration without reaching a probe; the task can overrun its quantum — call the yield's Probe() on every path")
+	}
+}
+
+func listVerdict(stmts []ast.Stmt, yields map[string]bool) verdict {
+	for _, s := range stmts {
+		switch stmtVerdict(s, yields) {
+		case probesOrExits:
+			return probesOrExits
+		case continuesUnprobed:
+			return continuesUnprobed
+		}
+	}
+	return fallThrough
+}
+
+func stmtVerdict(s ast.Stmt, yields map[string]bool) verdict {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if callProbes(st.X, yields) {
+			return probesOrExits
+		}
+	case *ast.ReturnStmt:
+		return probesOrExits
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK, token.GOTO:
+			// Leaves the analyzed loop (or, for goto, at least leaves
+			// straight-line flow — assume the landing site is checked on
+			// its own).
+			return probesOrExits
+		case token.CONTINUE:
+			return continuesUnprobed
+		}
+	case *ast.BlockStmt:
+		return listVerdict(st.List, yields)
+	case *ast.LabeledStmt:
+		return stmtVerdict(st.Stmt, yields)
+	case *ast.IfStmt:
+		thenV := listVerdict(st.Body.List, yields)
+		elseV := fallThrough
+		if st.Else != nil {
+			elseV = stmtVerdict(st.Else, yields)
+		}
+		if thenV == continuesUnprobed || elseV == continuesUnprobed {
+			return continuesUnprobed
+		}
+		if thenV == probesOrExits && st.Else != nil && elseV == probesOrExits {
+			return probesOrExits
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return switchVerdict(s, yields)
+	case *ast.SelectStmt:
+		all := probesOrExits
+		for _, c := range st.Body.List {
+			cv := listVerdict(c.(*ast.CommClause).Body, yields)
+			if cv == continuesUnprobed {
+				return continuesUnprobed
+			}
+			if cv != probesOrExits {
+				all = fallThrough
+			}
+		}
+		return all
+	case *ast.ForStmt, *ast.RangeStmt:
+		// A nested loop may run zero iterations, so it guarantees
+		// nothing for the enclosing loop; its own body is checked
+		// separately. Its break/continue statements bind to it, which
+		// is why the analysis does not descend here.
+		return fallThrough
+	}
+	return fallThrough
+}
+
+func switchVerdict(s ast.Stmt, yields map[string]bool) verdict {
+	var clauses []ast.Stmt
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		clauses = st.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = st.Body.List
+	}
+	hasDefault := false
+	all := probesOrExits
+	for _, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// A `break` inside a switch leaves the switch, not the loop:
+		// treat a bare-break clause as fallThrough, not probesOrExits.
+		cv := listVerdict(stripSwitchBreaks(cc.Body), yields)
+		if cv == continuesUnprobed {
+			return continuesUnprobed
+		}
+		if cv != probesOrExits {
+			all = fallThrough
+		}
+	}
+	if hasDefault && all == probesOrExits {
+		return probesOrExits
+	}
+	return fallThrough
+}
+
+// stripSwitchBreaks removes trailing unlabeled breaks, which bind to
+// the switch rather than the enclosing loop.
+func stripSwitchBreaks(stmts []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.BREAK && br.Label == nil {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// callProbes reports whether an expression is a call that (possibly
+// transitively) reaches a probe: y.Probe(), a call taking y as an
+// argument, or a call taking a closure that captures y.
+func callProbes(e ast.Expr, yields map[string]bool) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok && yields[x.Name] && sel.Sel.Name == "Probe" {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		switch a := arg.(type) {
+		case *ast.Ident:
+			if yields[a.Name] {
+				return true
+			}
+		case *ast.FuncLit:
+			if referencesYield(a, yields) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func referencesYield(n ast.Node, yields map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && yields[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// --- dead probe check -------------------------------------------------
+
+// checkDeadProbes flags probe statements that sit behind a terminating
+// statement in the same list: the author expects the task to probe
+// there, but control can never arrive.
+func checkDeadProbes(stmts []ast.Stmt, yields map[string]bool, report reporter) {
+	terminated := false
+	for _, s := range stmts {
+		es, isExpr := s.(*ast.ExprStmt)
+		if terminated && isExpr && callProbes(es.X, yields) {
+			report(s.Pos(), "dead-probe", "probe is unreachable: an earlier statement in this block always returns or branches away")
+			continue
+		}
+		if terminates(s) {
+			terminated = true
+		}
+	}
+}
+
+// terminates reports whether a statement unconditionally leaves the
+// enclosing statement list.
+func terminates(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok != token.FALLTHROUGH
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		if len(st.List) == 0 {
+			return false
+		}
+		return terminates(st.List[len(st.List)-1])
+	}
+	return false
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// exprText renders a short expression for diagnostics (best effort).
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return "(" + exprText(x.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	}
+	return "expr"
+}

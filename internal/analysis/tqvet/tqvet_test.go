@@ -1,0 +1,300 @@
+package tqvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// analyze runs the checker over one source snippet and returns the
+// findings as "category@line" strings.
+func analyze(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "task.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var got []string
+	pass := &Pass{
+		Fset:  fset,
+		Files: []*ast.File{file},
+		Report: func(d Diagnostic) {
+			got = append(got, d.Category+"@"+itoa(fset.Position(d.Pos).Line))
+		},
+	}
+	if err := Checker.Run(pass); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got
+}
+
+func itoa(n int) string {
+	digits := "0123456789"
+	if n < 10 {
+		return digits[n : n+1]
+	}
+	return itoa(n/10) + digits[n%10:n%10+1]
+}
+
+func expect(t *testing.T, src string, want ...string) {
+	t.Helper()
+	got := analyze(t, src)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("findings = %v, want %v", got, want)
+	}
+}
+
+const header = `package p
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/tqrt"
+)
+
+var (
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+	_  = time.Now
+)
+`
+
+func TestLoopWithoutProbeFlagged(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	n := 0
+	for i := 0; i < 1000; i++ {
+		n += i
+	}
+	_ = n
+	y.Probe()
+}
+`, "loop-no-probe@19")
+}
+
+func TestLoopWithProbeClean(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	for i := 0; i < 1000; i++ {
+		y.Probe()
+	}
+}
+`)
+}
+
+func TestLoopProbingThroughHelperClean(t *testing.T) {
+	// Passing the yield to a callee counts as a (possible) probe.
+	expect(t, header+`
+func helper(y *tqrt.Yield) { y.Probe() }
+
+func task(y *tqrt.Yield) {
+	for i := 0; i < 1000; i++ {
+		helper(y)
+	}
+}
+`)
+}
+
+func TestLoopProbingThroughClosureArgClean(t *testing.T) {
+	expect(t, header+`
+func each(f func(int) bool) {}
+
+func task(y *tqrt.Yield) {
+	for i := 0; i < 10; i++ {
+		each(func(n int) bool {
+			y.Probe()
+			return true
+		})
+	}
+}
+`)
+}
+
+func TestContinueSkippingProbeFlagged(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		y.Probe()
+	}
+}
+`, "loop-no-probe@18")
+}
+
+func TestBreakAndReturnPathsClean(t *testing.T) {
+	// Paths that leave the loop need no probe: the iteration never
+	// completes.
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	for i := 0; i < 1000; i++ {
+		if i == 7 {
+			break
+		}
+		if i == 9 {
+			return
+		}
+		y.Probe()
+	}
+}
+`)
+}
+
+func TestIfNeedsBothArms(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			y.Probe()
+		}
+	}
+}
+`, "loop-no-probe@18")
+}
+
+func TestIfWithBothArmsProbingClean(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			y.Probe()
+		} else {
+			y.Probe()
+		}
+	}
+}
+`)
+}
+
+func TestNestedLoopDoesNotSatisfyOuter(t *testing.T) {
+	// The inner loop probes, but it may run zero iterations — the outer
+	// loop still has a probe-free path.
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	for i := 0; i < 1000; i++ {
+		for j := 0; j < i; j++ {
+			y.Probe()
+		}
+	}
+}
+`, "loop-no-probe@18")
+}
+
+func TestBlockingConstructsFlagged(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	ch <- 1
+	<-ch
+	time.Sleep(time.Millisecond)
+	mu.Lock()
+	wg.Wait()
+	select {
+	case v := <-ch:
+		_ = v
+	}
+	y.Probe()
+}
+`, "blocking@18", "blocking@19", "blocking@20", "blocking@21", "blocking@22", "blocking@23")
+}
+
+func TestSelectWithDefaultClean(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+	y.Probe()
+}
+`)
+}
+
+func TestDeadProbeFlagged(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	if true {
+		return
+		y.Probe()
+	}
+}
+`, "dead-probe@20")
+}
+
+func TestIgnoreSuppressesOnSameAndPreviousLine(t *testing.T) {
+	expect(t, header+`
+func task(y *tqrt.Yield) {
+	for i := 0; i < 1000; i++ { //tqvet:ignore proven bounded
+	}
+	// tqvet:ignore lock held ns-scale
+	mu.Lock()
+	mu.Unlock()
+	y.Probe()
+}
+`)
+}
+
+func TestNonTqrtFileIgnored(t *testing.T) {
+	expect(t, `package p
+
+func busy(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`)
+}
+
+func TestNestedTaskLiteralNotDoubleReported(t *testing.T) {
+	// The inner FuncLit declares its own yield: it is a separate task
+	// and must be reported exactly once.
+	expect(t, header+`
+func outer(y *tqrt.Yield, submit func(func(z *tqrt.Yield))) {
+	submit(func(z *tqrt.Yield) {
+		for i := 0; i < 10; i++ {
+		}
+	})
+	y.Probe()
+}
+`, "loop-no-probe@19")
+}
+
+// TestDogfoodExamplesAndCmds runs the analyzer over the repository's
+// real tqrt-using code: every finding must be fixed or carry a
+// justified tqvet:ignore.
+func TestDogfoodExamplesAndCmds(t *testing.T) {
+	fset := token.NewFileSet()
+	for _, root := range []string{"../../../examples", "../../../cmd"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return err
+			}
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			pass := &Pass{
+				Fset:  fset,
+				Files: []*ast.File{file},
+				Report: func(diag Diagnostic) {
+					pos := fset.Position(diag.Pos)
+					t.Errorf("%s:%d: %s: %s", pos.Filename, pos.Line, diag.Category, diag.Message)
+				},
+			}
+			return Checker.Run(pass)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

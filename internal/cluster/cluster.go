@@ -95,8 +95,8 @@ func (c RunConfig) validate() {
 
 // ClassMetrics aggregates completions of one request class.
 type ClassMetrics struct {
-	Name     string
-	Count    uint64
+	Name  string
+	Count uint64
 	// Good counts completions within the class's SLO target; it equals
 	// Count when the class has no target.
 	Good     uint64

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/rng"
+	"repro/internal/verify"
 )
 
 const testScale = 0.05
@@ -250,9 +251,10 @@ func TestSelfLoopCloning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The dispatch block adds two instructions; everything else equal.
-	if gRes.Instrs != b.Instrs+2 {
-		t.Fatalf("cloned program executed %d instrs, original %d (+2 expected)", gRes.Instrs, b.Instrs)
+	// The dispatch block adds three instructions (remaining-trips guard:
+	// sub, const, cmplt); everything else equal.
+	if gRes.Instrs != b.Instrs+3 {
+		t.Fatalf("cloned program executed %d instrs, original %d (+3 expected)", gRes.Instrs, b.Instrs)
 	}
 }
 
@@ -438,5 +440,138 @@ func BenchmarkCIPass(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		CIPass(f)
+	}
+}
+
+// twoLatchLoop builds one natural loop with TWO back edges: the body
+// branches into either of two latch blocks, both jumping back to the
+// header. Regression shape for the bug where TQPass probed only the
+// first latch, leaving a probe-free cycle through the second.
+func twoLatchLoop() (*ir.Func, int, int) {
+	b := ir.NewFunc("two-latch", 12, 64)
+	header := b.NewBlock()
+	body := b.NewBlock()
+	l1 := b.NewBlock()
+	l2 := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, 0)  // i
+	b.Const(2, 50) // limit
+	b.Const(7, 1)  // step
+	b.Jump(header)
+	b.SetBlock(header)
+	b.CmpLT(3, 1, 2)
+	b.BranchNZ(3, body, exit)
+	b.SetBlock(body)
+	b.And(4, 1, 7) // parity selects the latch
+	b.BranchNZ(4, l1, l2)
+	b.SetBlock(l1)
+	b.Add(5, 5, 7)
+	b.Add(1, 1, 7)
+	b.Jump(header)
+	b.SetBlock(l2)
+	b.Add(6, 6, 7)
+	b.Add(1, 1, 7)
+	b.Jump(header)
+	b.SetBlock(exit)
+	b.Ret()
+	return b.Build(), l1, l2
+}
+
+func TestTQPassProbesEveryLatch(t *testing.T) {
+	f, l1, l2 := twoLatchLoop()
+	g := TQPass(f, DefaultBound)
+	if !g.Blocks[l1].HasProbe() || !g.Blocks[l2].HasProbe() {
+		t.Fatalf("latch probes: b%d=%v b%d=%v, want both probed\n%s",
+			l1, g.Blocks[l1].HasProbe(), l2, g.Blocks[l2].HasProbe(), g.Disassemble())
+	}
+	if res := verify.Check(g, TQGapGuarantee(f, DefaultBound)); !res.Proved() {
+		t.Fatalf("two-latch instrumentation refuted: %s", res)
+	}
+	// Reconstruct the old single-latch placement and confirm the
+	// verifier catches exactly this bug class.
+	bad := g.Clone()
+	code := bad.Blocks[l2].Code[:0]
+	for _, in := range bad.Blocks[l2].Code {
+		if in.Op != ir.OpProbe {
+			code = append(code, in)
+		}
+	}
+	bad.Blocks[l2].Code = code
+	res := verify.Check(bad, TQGapGuarantee(f, DefaultBound))
+	if res.Status != verify.StatusNoProbeOnCycle {
+		t.Fatalf("unprobed second latch not refuted as probe-free cycle: %s", res)
+	}
+}
+
+func TestSelfLoopCloneNonzeroInductionStart(t *testing.T) {
+	// Regression: the clone dispatch used to compare the loop LIMIT
+	// against the gate target — a proxy for the trip count that is only
+	// right when the induction variable starts at zero. With i starting
+	// at -1000 and a limit of 10, the limit looks tiny, the old guard
+	// picked the uninstrumented clone, and ~1010 iterations ran without
+	// a single probe. The guard must compare REMAINING trips (limit-i).
+	b := ir.NewFunc("neg-start-selfloop", 12, 64)
+	loop := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, -1000) // i
+	b.Const(2, 10)    // limit
+	b.Const(7, 1)     // step
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Add(4, 4, 7)
+	b.Add(1, 1, 7)
+	b.CmpLT(3, 1, 2)
+	b.BranchNZ(3, loop, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	f := b.Build()
+
+	g := TQPass(f, DefaultBound)
+	hook := &gapHook{}
+	res, err := ir.Exec(g, ir.DefaultCosts(), rng.New(1), hook, maxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Probes == 0 {
+		t.Fatalf("long-running self-loop took the uninstrumented clone:\n%s", g.Disassemble())
+	}
+	if guar := TQGapGuarantee(f, DefaultBound); hook.maxGap > guar {
+		t.Fatalf("dynamic probe gap %d exceeds static guarantee %d", hook.maxGap, guar)
+	}
+	// Semantics preserved: only the three dispatch instructions ride on
+	// top of the original execution.
+	base, err := ir.Exec(f, ir.DefaultCosts(), rng.New(1), nil, maxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instrs != base.Instrs+3 {
+		t.Fatalf("instrumented run executed %d instrs, original %d (+3 expected)", res.Instrs, base.Instrs)
+	}
+}
+
+func TestAllPassOutputsProveProbeGapInvariant(t *testing.T) {
+	// The acceptance bar for the verifier: every suite program, under
+	// every pass, proves the invariant — TQ against its stated weighted
+	// gap guarantee, the CI variants structurally (their bound is a
+	// counter threshold, not a per-path weight).
+	for _, f := range Suite(testScale) {
+		guar := TQGapGuarantee(f, DefaultBound)
+		res := verify.Check(TQPass(f, DefaultBound), guar)
+		if !res.Proved() {
+			t.Errorf("%s/TQ: %s", f.Name, res)
+		}
+		if res.WorstGap > 2*DefaultBound {
+			t.Errorf("%s/TQ: worst static gap %d exceeds 2x bound %d", f.Name, res.WorstGap, 2*DefaultBound)
+		}
+		for tech, g := range map[string]*ir.Func{
+			TechCI:       CIPass(f),
+			TechCICycles: CICyclesPass(f),
+		} {
+			if res := verify.Check(g, 0); !res.Proved() {
+				t.Errorf("%s/%s: %s", f.Name, tech, res)
+			}
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/rng"
+	"repro/internal/verify"
 )
 
 // yieldRecorder accumulates realized yield intervals so the harness can
@@ -172,6 +173,15 @@ type Measurement struct {
 	Yields int64
 	// BaseCycles and InstrCycles are the raw run times.
 	BaseCycles, InstrCycles int64
+	// StaticGap is the verifier's worst-case weighted instruction count
+	// between probe points over all paths (internal/verify), and
+	// Verified records that the instrumented function proved the
+	// bounded-probe-gap invariant. GapGuarantee is the weighted gap
+	// bound the TQ pass promises (TQGapGuarantee); zero for the CI
+	// techniques, whose guarantee is structural only.
+	StaticGap    int64
+	Verified     bool
+	GapGuarantee int64
 }
 
 // maxSteps bounds benchmark executions; suite programs run far below
@@ -183,7 +193,9 @@ const maxSteps = 200_000_000
 func MeasureTQ(f *ir.Func, bound int64, quantumNs float64, model ir.CostModel, seed uint64) Measurement {
 	g := TQPass(f, bound)
 	hook := newTQHook(model, model.NsToCycles(quantumNs))
-	return measure(f, g, TechTQ, hook, &hook.rec, model, seed)
+	m := measure(f, g, TechTQ, hook, &hook.rec, model, seed)
+	m.GapGuarantee = TQGapGuarantee(f, bound)
+	return m
 }
 
 // MeasureCI runs f uninstrumented and CI-instrumented.
@@ -209,6 +221,7 @@ func measure(base, instr *ir.Func, tech string, hook ir.ProbeHook, rec *yieldRec
 	if err != nil {
 		panic("instrument: instrumented run failed: " + err.Error())
 	}
+	ver := verify.Check(instr, 0)
 	m := Measurement{
 		Program:       base.Name,
 		Technique:     tech,
@@ -218,6 +231,8 @@ func measure(base, instr *ir.Func, tech string, hook ir.ProbeHook, rec *yieldRec
 		BaseCycles:    baseRes.Cycles,
 		InstrCycles:   instRes.Cycles,
 		MAEns:         rec.maeNs(model),
+		StaticGap:     ver.WorstGap,
+		Verified:      ver.Proved(),
 	}
 	// Overhead excludes yield costs: the paper's probing overhead is
 	// the instrumentation tax, and yields are common to all

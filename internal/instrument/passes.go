@@ -18,35 +18,43 @@ import (
 	"sort"
 
 	"repro/internal/ir"
+	"repro/internal/verify"
 )
 
 // CallWeight is the instruction-count surcharge for a call to an
 // uninstrumented external function: the compiler cannot see inside it,
-// so it budgets a fixed cost (§3.1).
-const CallWeight = 20
+// so it budgets a fixed cost (§3.1). The weighting itself lives in
+// ir.Instr.Weight so the static verifier shares it.
+const CallWeight = ir.CallWeight
 
-// instrWeight is an instruction's contribution to path-length bounds.
-func instrWeight(in *ir.Instr) int64 {
-	switch in.Op {
-	case ir.OpProbe:
-		return 0
-	case ir.OpCall:
-		s := in.Imm
-		if s < 1 {
-			s = 1
+// TQGapGuarantee returns the static probe-gap bound that TQPass(f,
+// bound) guarantees, in weighted instructions, for the verifier to
+// check. Derivation: the acyclic pass keeps the running gap at or below
+// max(bound, w) at every point, where w is the largest single
+// instruction weight (a call heavier than the bound cannot be split);
+// a trip-bounded self-loop clone adds strictly less than bound more
+// probe-free work before its dispatch guard forces an exit; and the
+// next probe lands within one instruction of the bound being crossed.
+func TQGapGuarantee(f *ir.Func, bound int64) int64 {
+	maxW := int64(1)
+	for _, b := range f.Blocks {
+		for i := range b.Code {
+			if w := b.Code[i].Weight(); w > maxW {
+				maxW = w
+			}
 		}
-		return CallWeight * s
-	default:
-		return 1
 	}
+	return 2*bound + 2*maxW
 }
 
-func blockWeight(b *ir.Block) int64 {
-	var w int64
-	for i := range b.Code {
-		w += instrWeight(&b.Code[i])
+// mustVerify is the mandatory post-pass check: every pass output must
+// prove the bounded-probe-gap invariant (gapBound <= 0 checks only the
+// structural every-cycle-probes property). A failure is a pass bug, so
+// it panics with the verifier's counterexample path.
+func mustVerify(g *ir.Func, gapBound int64, pass string) {
+	if res := verify.Check(g, gapBound); !res.Proved() {
+		panic("instrument: " + pass + " output violates the probe-gap invariant:\n" + res.String())
 	}
-	return w
 }
 
 // TQPass inserts TQ's physical-clock probes into a copy of f so that no
@@ -85,7 +93,7 @@ func TQPass(f *ir.Func, bound int64) *ir.Func {
 		// path in the body).
 		var bodyW int64
 		for b := range l.Blocks {
-			bodyW += blockWeight(g.Blocks[b])
+			bodyW += g.Blocks[b].Weight()
 		}
 		if bodyW == 0 {
 			bodyW = 1
@@ -95,21 +103,34 @@ func TQPass(f *ir.Func, bound int64) *ir.Func {
 			every = 1
 		}
 
-		if len(l.Blocks) == 1 && trySelfLoopClone(g, cfg, l, every, &nextID) {
+		// Cloning only pays off (and only keeps the trip-bound argument
+		// under the gap guarantee) when the gate target allows at least
+		// one uninstrumented iteration beyond the mandatory one.
+		if every >= 2 && len(l.Blocks) == 1 && trySelfLoopClone(g, cfg, l, every, &nextID) {
 			cloned = true
 			continue
 		}
-		latch := l.Latches[0]
-		blk := g.Blocks[latch]
-		var probe ir.Instr
-		if iv, ok := cfg.FindInductionVar(l); ok {
-			// Reuse the induction variable instead of maintaining a
-			// separate iteration counter (§3.1).
-			probe = newProbe(ir.Probe{Kind: ir.ProbeTQInduction, Every: every, IndVar: iv.Reg})
-		} else {
-			probe = newProbe(ir.Probe{Kind: ir.ProbeTQGated, Every: every})
+		// Every latch gets a probe: a loop merged from several back edges
+		// (multiple latches on one header) would otherwise keep a
+		// probe-free cycle through the unprobed latch.
+		iv, ivOK := cfg.FindInductionVar(l)
+		probed := map[int]bool{}
+		for _, latch := range l.Latches {
+			if probed[latch] {
+				continue
+			}
+			probed[latch] = true
+			blk := g.Blocks[latch]
+			var probe ir.Instr
+			if ivOK {
+				// Reuse the induction variable instead of maintaining a
+				// separate iteration counter (§3.1).
+				probe = newProbe(ir.Probe{Kind: ir.ProbeTQInduction, Every: every, IndVar: iv.Reg})
+			} else {
+				probe = newProbe(ir.Probe{Kind: ir.ProbeTQGated, Every: every})
+			}
+			blk.Code = append(blk.Code, probe)
 		}
-		blk.Code = append(blk.Code, probe)
 	}
 	if cloned {
 		// Cloning rewrote the CFG; recompute for the acyclic pass.
@@ -128,21 +149,28 @@ func TQPass(f *ir.Func, bound int64) *ir.Func {
 	for _, b := range cfg.RPO {
 		blk := g.Blocks[b]
 		gap := gapIn[b]
-		for i := 0; i < len(blk.Code); i++ {
-			in := &blk.Code[i]
-			if in.Op == ir.OpProbe {
-				gap = 0
-				continue
-			}
-			gap += instrWeight(in)
-			if gap > bound {
-				// Insert a probe before this point.
-				probe := newProbe(ir.Probe{Kind: ir.ProbeTQ})
-				blk.Code = append(blk.Code, ir.Instr{})
-				copy(blk.Code[i+1:], blk.Code[i:])
-				blk.Code[i] = probe
-				gap = instrWeight(in)
-				i++ // skip over the shifted current instruction
+		if blk.TripBound > 0 && !blk.HasProbe() {
+			// Uninstrumented self-loop clone: inserting a probe inside
+			// would defeat the optimization, and the residual gap leaving
+			// the block must charge every bounded iteration.
+			gap += blk.TripBound * blk.Weight()
+		} else {
+			for i := 0; i < len(blk.Code); i++ {
+				in := &blk.Code[i]
+				if in.Op == ir.OpProbe {
+					gap = 0
+					continue
+				}
+				gap += in.Weight()
+				if gap > bound {
+					// Insert a probe before this point.
+					probe := newProbe(ir.Probe{Kind: ir.ProbeTQ})
+					blk.Code = append(blk.Code, ir.Instr{})
+					copy(blk.Code[i+1:], blk.Code[i:])
+					blk.Code[i] = probe
+					gap = in.Weight()
+					i++ // skip over the shifted current instruction
+				}
 			}
 		}
 		for _, s := range blk.Succs() {
@@ -158,6 +186,7 @@ func TQPass(f *ir.Func, bound int64) *ir.Func {
 	if err := g.Validate(); err != nil {
 		panic("instrument: TQPass produced invalid IR: " + err.Error())
 	}
+	mustVerify(g, TQGapGuarantee(f, bound), "TQPass")
 	return g
 }
 
@@ -168,42 +197,85 @@ func TQPass(f *ir.Func, bound int64) *ir.Func {
 // clone runs probe-free.
 //
 // It requires the canonical countable shape: the loop is one block B
-// whose exit comparison is CmpLT(i, bound) with i the induction
-// variable and bound defined outside the loop. Returns false when the
-// shape does not match.
+// that self-loops on its true edge while CmpLT(i, limit) holds, with i
+// an induction variable stepped by a positive constant and limit not
+// written inside the loop. Returns false when the shape (or any
+// precondition the trip-bound argument rests on) does not match.
+//
+// Soundness: the dispatch guard compares the REMAINING trip count
+// (limit - i) against the gate target, not the total trip count — an
+// induction variable that starts above zero would otherwise send a
+// long-running loop down the uninstrumented clone. When the guard
+// admits the uninstrumented clone, i rises by at least 1 per iteration
+// and the loop runs at most `every` more times, which the pass records
+// in the block's TripBound for the static verifier.
 func trySelfLoopClone(g *ir.Func, cfg *ir.CFG, l *ir.Loop, every int64, nextID *int) bool {
 	B := l.Header
 	blk := g.Blocks[B]
-	if blk.Term.Kind != ir.Branch {
+	// Self edge on the true arm, exit on the false arm.
+	if blk.Term.Kind != ir.Branch || blk.Term.Succ1 != B || blk.Term.Succ2 == B {
 		return false
 	}
 	iv, ok := cfg.FindInductionVar(l)
 	if !ok {
 		return false
 	}
-	// Find CmpLT defining the branch condition and identify the bound
-	// register (the non-induction operand), which must not be written
-	// inside the loop.
-	boundReg := -1
+	// The branch condition must be defined exactly once in the block, by
+	// CmpLT(i, limit): the loop continues only while i < limit.
+	limitReg, condDefs := -1, 0
 	for i := range blk.Code {
 		in := &blk.Code[i]
-		if in.Op == ir.OpCmpLT && in.Dst == blk.Term.Cond {
-			switch {
-			case in.A == iv.Reg:
-				boundReg = in.B
-			case in.B == iv.Reg:
-				boundReg = in.A
+		if in.Op != ir.OpProbe && writesReg(in, blk.Term.Cond) {
+			condDefs++
+			if in.Op == ir.OpCmpLT && in.A == iv.Reg {
+				limitReg = in.B
 			}
 		}
 	}
-	if boundReg < 0 {
+	if limitReg < 0 || condDefs != 1 {
 		return false
 	}
+	// i must be written only by its single positive-step Add, and limit
+	// not at all, or the remaining-trips bound does not hold.
+	stepReg, ivWrites := -1, 0
 	for i := range blk.Code {
 		in := &blk.Code[i]
-		if in.Op != ir.OpProbe && writesReg(in, boundReg) {
+		if in.Op == ir.OpProbe {
+			continue
+		}
+		if writesReg(in, limitReg) {
 			return false
 		}
+		if writesReg(in, iv.Reg) {
+			ivWrites++
+			if in.Op == ir.OpAdd && in.A == iv.Reg {
+				stepReg = in.B
+			}
+		}
+	}
+	if stepReg < 0 || ivWrites != 1 {
+		return false
+	}
+	// The step register must provably hold a value >= 1 whenever the
+	// loop runs: every write to it anywhere in the function is a
+	// positive constant, and at least one such write dominates the loop.
+	stepOK := false
+	for _, pb := range g.Blocks {
+		for i := range pb.Code {
+			in := &pb.Code[i]
+			if in.Op == ir.OpProbe || !writesReg(in, stepReg) {
+				continue
+			}
+			if in.Op != ir.OpConst || in.Imm < 1 {
+				return false
+			}
+			if cfg.Dominates(pb.ID, B) && pb.ID != B {
+				stepOK = true
+			}
+		}
+	}
+	if !stepOK {
+		return false
 	}
 
 	// Build the instrumented clone.
@@ -213,16 +285,19 @@ func trySelfLoopClone(g *ir.Func, cfg *ir.CFG, l *ir.Loop, every int64, nextID *
 	clone.Code = append(clone.Code, ir.Instr{Op: ir.OpProbe, Probe: &p})
 	g.Blocks = append(g.Blocks, clone)
 
-	// Dispatch block: if bound < every*1 (iterations below the gate
-	// target) run the original, else the instrumented clone. Uses two
-	// fresh scratch registers.
-	rEvery := g.NumRegs
-	rCond := g.NumRegs + 1
-	g.NumRegs += 2
+	// Dispatch block: if limit - i < every (fewer remaining iterations
+	// than the gate target) the loop cannot outlive the quantum, so run
+	// the uninstrumented original; otherwise run the instrumented clone.
+	// Uses three fresh scratch registers.
+	rRem := g.NumRegs
+	rEvery := g.NumRegs + 1
+	rCond := g.NumRegs + 2
+	g.NumRegs += 3
 	dispatch := &ir.Block{ID: len(g.Blocks)}
 	dispatch.Code = append(dispatch.Code,
+		ir.Instr{Op: ir.OpSub, Dst: rRem, A: limitReg, B: iv.Reg},
 		ir.Instr{Op: ir.OpConst, Dst: rEvery, Imm: every},
-		ir.Instr{Op: ir.OpCmpLT, Dst: rCond, A: boundReg, B: rEvery},
+		ir.Instr{Op: ir.OpCmpLT, Dst: rCond, A: rRem, B: rEvery},
 	)
 	dispatch.Term = ir.Term{Kind: ir.Branch, Cond: rCond, Succ1: B, Succ2: clone.ID}
 	g.Blocks = append(g.Blocks, dispatch)
@@ -237,6 +312,14 @@ func trySelfLoopClone(g *ir.Func, cfg *ir.CFG, l *ir.Loop, every int64, nextID *
 	}
 	// Clone's self edge must target the clone, not B.
 	redirect(&clone.Term, B, clone.ID)
+	// Record the proven bound on consecutive uninstrumented iterations
+	// for the static verifier (do-while: at least one trip even when
+	// remaining <= 0, hence the floor of 1; `every` covers the compare-
+	// before-step ordering's extra trip).
+	blk.TripBound = every
+	if blk.TripBound < 1 {
+		blk.TripBound = 1
+	}
 	return true
 }
 
@@ -290,9 +373,15 @@ func ciPass(f *ir.Func, kind ir.ProbeKind) *ir.Func {
 	for i := range chainInto {
 		chainInto[i] = -1
 	}
+	rpoIndex := make(map[int]int, len(cfg.RPO))
+	for i, b := range cfg.RPO {
+		rpoIndex[b] = i
+	}
 	// A block may defer its increment to its single successor if that
 	// successor has exactly one predecessor: both run or neither does.
-	// Loop headers never absorb (their increment would double-count).
+	// Loop headers never absorb (their increment would double-count),
+	// and deferring along a back edge is forbidden — a chain that wraps
+	// around a cycle would leave the whole cycle increment-free.
 	for _, b := range g.Blocks {
 		succs := b.Succs()
 		if len(succs) != 1 {
@@ -300,6 +389,10 @@ func ciPass(f *ir.Func, kind ir.ProbeKind) *ir.Func {
 		}
 		s := succs[0]
 		if s == b.ID || len(cfg.Preds[s]) != 1 {
+			continue
+		}
+		si, ok := rpoIndex[s]
+		if !ok || si <= rpoIndex[b.ID] {
 			continue
 		}
 		if lp := cfg.LoopOf(s); lp != nil && lp.Header == s {
@@ -310,7 +403,7 @@ func ciPass(f *ir.Func, kind ir.ProbeKind) *ir.Func {
 	// Propagate carried weights along chains in reverse postorder.
 	for _, bid := range cfg.RPO {
 		b := g.Blocks[bid]
-		w := blockWeight(b) + carried[bid]
+		w := b.Weight() + carried[bid]
 		if t := chainInto[bid]; t >= 0 {
 			carried[t] += w
 			continue
@@ -334,5 +427,8 @@ func ciPass(f *ir.Func, kind ir.ProbeKind) *ir.Func {
 	if err := g.Validate(); err != nil {
 		panic("instrument: CIPass produced invalid IR: " + err.Error())
 	}
+	// CI's guarantee is structural (a counter check on every cycle); the
+	// increment-merging makes no fixed per-path weight promise.
+	mustVerify(g, 0, kind.String()+" pass")
 	return g
 }

@@ -86,3 +86,27 @@ func Format(rows []Table3Row) string {
 	emit("mean", m[TechCI], m[TechCICycles], m[TechTQ])
 	return b.String()
 }
+
+// FormatVerify renders the static verification verdicts beside the
+// Table 3 rows: per program, whether the TQ-instrumented function
+// proves the bounded-probe-gap invariant against the pass's gap
+// guarantee, its worst statically possible probe gap (in weighted
+// instructions), and the CI techniques' worst gaps (their guarantee is
+// structural — a probe on every cycle — so only the gap is shown).
+func FormatVerify(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-10s %8s %11s %8s %10s\n",
+		"workload", "TQ verdict", "TQ gap", "guarantee", "CI gap", "CI-CY gap")
+	for _, r := range rows {
+		tq := r.ByTech[TechTQ]
+		ci := r.ByTech[TechCI]
+		cy := r.ByTech[TechCICycles]
+		verdict := "REFUTED"
+		if tq.Verified && tq.StaticGap <= tq.GapGuarantee {
+			verdict = "PROVED"
+		}
+		fmt.Fprintf(&b, "%-20s %-10s %8d %11d %8d %10d\n",
+			r.Program, verdict, tq.StaticGap, tq.GapGuarantee, ci.StaticGap, cy.StaticGap)
+	}
+	return b.String()
+}

@@ -169,6 +169,14 @@ type Block struct {
 	ID   int
 	Code []Instr
 	Term Term
+	// TripBound, when positive, records a pass-proven upper bound on the
+	// number of consecutive iterations of this block's self-loop per
+	// entry. The self-loop cloning optimization sets it on the
+	// uninstrumented clone, whose dispatch guard guarantees the loop
+	// exits within the gate target; the static verifier in
+	// internal/verify uses it to bound the clone's probe-free cycle.
+	// Zero means no such guarantee.
+	TripBound int64
 }
 
 // Succs returns the successor block IDs.
@@ -195,6 +203,49 @@ func (b *Block) NonProbeLen() int64 {
 	return n
 }
 
+// CallWeight is the instruction-count surcharge for a call to an
+// uninstrumented external function: the compiler cannot see inside it,
+// so it budgets a fixed cost (§3.1). Both the instrumentation passes
+// and the static verifier bound paths in these weights.
+const CallWeight = 20
+
+// Weight is the instruction's contribution to path-length bounds:
+// probes weigh nothing, calls weigh CallWeight per cost scale, and
+// everything else weighs one.
+func (in *Instr) Weight() int64 {
+	switch in.Op {
+	case OpProbe:
+		return 0
+	case OpCall:
+		s := in.Imm
+		if s < 1 {
+			s = 1
+		}
+		return CallWeight * s
+	default:
+		return 1
+	}
+}
+
+// Weight sums the block's instruction weights.
+func (b *Block) Weight() int64 {
+	var w int64
+	for i := range b.Code {
+		w += b.Code[i].Weight()
+	}
+	return w
+}
+
+// HasProbe reports whether the block contains a probe instruction.
+func (b *Block) HasProbe() bool {
+	for i := range b.Code {
+		if b.Code[i].Op == OpProbe {
+			return true
+		}
+	}
+	return false
+}
+
 // Func is a function: blocks[0] is the entry.
 type Func struct {
 	Name string
@@ -215,7 +266,7 @@ type Func struct {
 func (f *Func) Clone() *Func {
 	nf := &Func{Name: f.Name, NumRegs: f.NumRegs, MemWords: f.MemWords, NonReentrant: f.NonReentrant}
 	for _, b := range f.Blocks {
-		nb := &Block{ID: b.ID, Term: b.Term, Code: make([]Instr, len(b.Code))}
+		nb := &Block{ID: b.ID, Term: b.Term, TripBound: b.TripBound, Code: make([]Instr, len(b.Code))}
 		copy(nb.Code, b.Code)
 		for i := range nb.Code {
 			if p := nb.Code[i].Probe; p != nil {
@@ -262,6 +313,9 @@ func (f *Func) Validate() error {
 	for i, b := range f.Blocks {
 		if b.ID != i {
 			return fmt.Errorf("ir: %s block %d has ID %d", f.Name, i, b.ID)
+		}
+		if b.TripBound < 0 {
+			return fmt.Errorf("ir: %s block %d has negative trip bound", f.Name, i)
 		}
 		for _, in := range b.Code {
 			if err := f.checkRegs(in); err != nil {

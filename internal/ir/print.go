@@ -82,3 +82,43 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+// PathStep is one block visit on an execution path through a function,
+// annotated with the weighted instruction cost the visit contributes.
+// The static verifier in internal/verify emits paths of these to
+// explain a probe-gap counterexample or the worst-case witness.
+type PathStep struct {
+	// Block is the visited block's ID.
+	Block int
+	// Iters is how many consecutive times the block's self-loop runs at
+	// this step (1 for a plain visit; the self-loop-clone trip bound for
+	// a bounded probe-free self-loop).
+	Iters int64
+	// Weight is the weighted instruction cost this step contributes
+	// (already multiplied by Iters).
+	Weight int64
+	// Note optionally labels the step ("entry", "probe", "exit",
+	// "cycle", ...).
+	Note string
+}
+
+// FormatPath renders a path as readable text: one line per block visit
+// with its label, per-step cost, and the cumulative weighted cost — the
+// trace the verifier prints to justify a verdict.
+func (f *Func) FormatPath(steps []PathStep) string {
+	var b strings.Builder
+	var cum int64
+	for _, s := range steps {
+		cum += s.Weight
+		label := fmt.Sprintf("b%d", s.Block)
+		if s.Iters > 1 {
+			label = fmt.Sprintf("b%d x%d", s.Block, s.Iters)
+		}
+		fmt.Fprintf(&b, "  %-10s +%-6d (cum %d)", label, s.Weight, cum)
+		if s.Note != "" {
+			fmt.Fprintf(&b, "  %s", s.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

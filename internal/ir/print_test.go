@@ -1,9 +1,14 @@
 package ir
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func TestDisassembleCoversConstructs(t *testing.T) {
 	b := NewFunc("demo", 8, 64)
@@ -62,5 +67,69 @@ func TestInstrStringProbeWithoutMetadata(t *testing.T) {
 func TestLocalityStrings(t *testing.T) {
 	if Hot.String() != "hot" || Warm.String() != "warm" || Cold.String() != "cold" {
 		t.Fatal("locality strings wrong")
+	}
+}
+
+// pathFunc builds a small three-block function for path-printing tests.
+func pathFunc() *Func {
+	b := NewFunc("path-demo", 8, 64)
+	loop := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, 0)
+	b.Const(2, 10)
+	b.Jump(loop)
+	b.SetBlock(loop)
+	b.Add(3, 3, 1)
+	b.Const(4, 1)
+	b.Add(1, 1, 4)
+	b.CmpLT(5, 1, 2)
+	b.BranchNZ(5, loop, exit)
+	b.SetBlock(exit)
+	b.Ret()
+	return b.Build()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestFormatPathGoldenLinear(t *testing.T) {
+	f := pathFunc()
+	got := f.FormatPath([]PathStep{
+		{Block: 0, Iters: 1, Weight: 2, Note: "entry"},
+		{Block: 1, Iters: 1, Weight: 4},
+		{Block: 2, Iters: 1, Weight: 0, Note: "exit"},
+	})
+	checkGolden(t, "path_linear.golden", got)
+}
+
+func TestFormatPathGoldenLoop(t *testing.T) {
+	f := pathFunc()
+	got := f.FormatPath([]PathStep{
+		{Block: 0, Iters: 1, Weight: 2, Note: "after probe"},
+		{Block: 1, Iters: 9, Weight: 36, Note: "bounded self-loop"},
+		{Block: 2, Iters: 1, Weight: 0, Note: "exit"},
+	})
+	checkGolden(t, "path_loop.golden", got)
+}
+
+func TestFormatPathEmpty(t *testing.T) {
+	if got := pathFunc().FormatPath(nil); got != "" {
+		t.Fatalf("empty path rendered %q", got)
 	}
 }

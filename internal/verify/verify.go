@@ -1,0 +1,381 @@
+// Package verify statically proves — or refutes with a concrete
+// counterexample path — the bounded-probe-gap invariant that Tiny
+// Quanta's forced multitasking rests on (§3.1): after instrumentation,
+// every execution path runs a probe within a bounded number of weighted
+// instructions. Concretely, for a function f and a bound G, Check
+// establishes that
+//
+//   - every CFG cycle executes a probe (otherwise a loop could run
+//     forever between probes), with one exception: a probe-free
+//     self-loop whose block carries a pass-proven TripBound, which the
+//     self-loop-cloning optimization guarantees exits within its gate
+//     target; and
+//   - every entry→first-probe, probe→probe, and probe→exit path weighs
+//     at most G instructions (calls weigh ir.CallWeight, probes weigh
+//     nothing — the same weighting the passes bound paths with).
+//
+// Unlike the dynamic gap check in internal/instrument's tests, which
+// observes one interpreted run and can miss unexercised paths, this is
+// a whole-CFG longest-path analysis: a PASS covers every path, and a
+// refutation comes with the offending path pretty-printed via
+// ir.FormatPath.
+//
+// The analysis is a forward dataflow over the CFG: gapIn[b] is the
+// maximum weighted instruction count since the last probe (or entry) at
+// b's entry. Probes reset the running gap, so along every cycle the gap
+// is reset at least once (the structural check guarantees a probe on
+// every cycle), which makes the fixpoint converge. Bounded probe-free
+// self-loops contribute TripBound×weight once instead of iterating.
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Status classifies a verification outcome.
+type Status int
+
+// Verification outcomes.
+const (
+	// StatusProved: the invariant holds on every path.
+	StatusProved Status = iota
+	// StatusNoProbeOnCycle: some cycle executes no probe, so the gap is
+	// unbounded.
+	StatusNoProbeOnCycle
+	// StatusGapExceeded: all cycles are probed but some inter-probe path
+	// exceeds the bound.
+	StatusGapExceeded
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusProved:
+		return "PROVED"
+	case StatusNoProbeOnCycle:
+		return "REFUTED (cycle without probe)"
+	case StatusGapExceeded:
+		return "REFUTED (gap exceeds bound)"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Result is one verification verdict.
+type Result struct {
+	F      *ir.Func
+	Status Status
+	// Bound is the gap bound checked; 0 means only the structural
+	// every-cycle-has-a-probe property was required.
+	Bound int64
+	// WorstGap is the maximum weighted instruction count between
+	// consecutive probe points over all paths (entry and exit count as
+	// probe points). Meaningful whenever Status != StatusNoProbeOnCycle.
+	WorstGap int64
+	// Path is the witness: the worst-gap path for proved/gap-exceeded
+	// results, or one lap of the probe-free cycle for refutations.
+	Path []ir.PathStep
+	// Reason is a one-line human explanation.
+	Reason string
+}
+
+// Proved reports whether the invariant was established.
+func (r Result) Proved() bool { return r.Status == StatusProved }
+
+// String renders the verdict with its witness path.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify %s: %s — %s\n", r.F.Name, r.Status, r.Reason)
+	if len(r.Path) > 0 {
+		if r.Status == StatusNoProbeOnCycle {
+			b.WriteString("counterexample cycle (repeats without probing):\n")
+		} else {
+			b.WriteString("worst probe-gap path (weighted instructions):\n")
+		}
+		b.WriteString(r.F.FormatPath(r.Path))
+	}
+	return b.String()
+}
+
+// Check verifies the bounded-probe-gap invariant for f against bound.
+// bound <= 0 requires only the structural property (every cycle probes)
+// and reports the worst static gap without judging it. f must Validate.
+func Check(f *ir.Func, bound int64) Result {
+	if err := f.Validate(); err != nil {
+		panic("verify: invalid function: " + err.Error())
+	}
+	cfg := ir.BuildCFG(f)
+	n := len(f.Blocks)
+
+	// Per-block facts. A block is "exempt" when its probe-free self-loop
+	// carries a pass-proven trip bound: its self edge is excluded from
+	// the cycle check and its contribution is TripBound×weight.
+	total := make([]int64, n)
+	hasProbe := make([]bool, n)
+	exempt := make([]bool, n)
+	for i, b := range f.Blocks {
+		total[i] = b.Weight()
+		hasProbe[i] = b.HasProbe()
+		if b.TripBound > 0 && !hasProbe[i] && hasSelfEdge(b) {
+			exempt[i] = true
+		}
+	}
+
+	if cyc := probeFreeCycle(f, cfg, hasProbe, exempt); cyc != nil {
+		steps := make([]ir.PathStep, 0, len(cyc))
+		var names []string
+		for i, b := range cyc {
+			note := ""
+			if i == 0 {
+				note = "cycle head"
+			}
+			steps = append(steps, ir.PathStep{Block: b, Iters: 1, Weight: total[b], Note: note})
+			names = append(names, fmt.Sprintf("b%d", b))
+		}
+		names = append(names, fmt.Sprintf("b%d", cyc[0]))
+		return Result{
+			F:      f,
+			Status: StatusNoProbeOnCycle,
+			Bound:  bound,
+			Path:   steps,
+			Reason: "cycle " + strings.Join(names, " -> ") + " executes no probe; the probe gap is unbounded",
+		}
+	}
+
+	// Gap dataflow: gapIn[b] = max weighted instructions since the last
+	// probe (or entry) at b's entry. Every non-exempt cycle contains a
+	// probe, which resets the running gap, so the fixpoint converges in
+	// at most n+2 reverse-postorder sweeps.
+	gapIn := make([]int64, n)
+	argPred := make([]int, n)
+	for i := range argPred {
+		argPred[i] = -1
+	}
+	walkOut := func(b int, in int64) int64 {
+		if exempt[b] {
+			return in + f.Blocks[b].TripBound*total[b]
+		}
+		gap := in
+		code := f.Blocks[b].Code
+		for i := range code {
+			if code[i].Op == ir.OpProbe {
+				gap = 0
+			} else {
+				gap += code[i].Weight()
+			}
+		}
+		return gap
+	}
+	for iter := 0; ; iter++ {
+		changed := false
+		for _, b := range cfg.RPO {
+			out := walkOut(b, gapIn[b])
+			for _, s := range f.Blocks[b].Succs() {
+				if exempt[b] && s == b {
+					continue
+				}
+				if out > gapIn[s] {
+					gapIn[s] = out
+					argPred[s] = b
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter > n+2 {
+			panic("verify: gap dataflow failed to converge on " + f.Name)
+		}
+	}
+
+	// Candidate gaps materialize wherever the running gap is consumed:
+	// at each probe (gap since the previous probe point) and at each
+	// return (probe→exit gap).
+	type candidate struct {
+		gap   int64
+		block int
+		// probeIdx is the instruction index of the probe, or -1 for a
+		// function exit.
+		probeIdx int
+	}
+	worst := candidate{gap: -1}
+	for _, b := range cfg.RPO {
+		blk := f.Blocks[b]
+		gap := gapIn[b]
+		if exempt[b] {
+			gap += blk.TripBound * total[b]
+		} else {
+			for i := range blk.Code {
+				in := &blk.Code[i]
+				if in.Op == ir.OpProbe {
+					if gap > worst.gap {
+						worst = candidate{gap, b, i}
+					}
+					gap = 0
+					continue
+				}
+				gap += in.Weight()
+			}
+		}
+		if blk.Term.Kind == ir.Ret && gap > worst.gap {
+			worst = candidate{gap, b, -1}
+		}
+	}
+	if worst.gap < 0 {
+		worst = candidate{gap: 0, block: 0, probeIdx: -1}
+	}
+
+	res := Result{
+		F:        f,
+		Status:   StatusProved,
+		Bound:    bound,
+		WorstGap: worst.gap,
+		Path:     worstPath(f, gapIn, argPred, hasProbe, exempt, total, worst.block, worst.probeIdx),
+	}
+	if bound > 0 && worst.gap > bound {
+		res.Status = StatusGapExceeded
+		res.Reason = fmt.Sprintf("worst static probe gap is %d weighted instructions, exceeding the bound %d", worst.gap, bound)
+	} else if bound > 0 {
+		res.Reason = fmt.Sprintf("worst static probe gap %d <= bound %d on every path", worst.gap, bound)
+	} else {
+		res.Reason = fmt.Sprintf("every cycle probes; worst static probe gap %d", worst.gap)
+	}
+	return res
+}
+
+func hasSelfEdge(b *ir.Block) bool {
+	for _, s := range b.Succs() {
+		if s == b.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// probeFreeCycle finds a cycle through reachable probe-free blocks
+// (skipping trip-bounded self edges) and returns one lap of it, or nil.
+func probeFreeCycle(f *ir.Func, cfg *ir.CFG, hasProbe, exempt []bool) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(f.Blocks))
+	inGraph := func(b int) bool { return cfg.Reachable(b) && !hasProbe[b] }
+	var path []int // gray stack
+	type frame struct{ b, next int }
+	for _, start := range cfg.RPO {
+		if !inGraph(start) || color[start] != white {
+			continue
+		}
+		stack := []frame{{start, 0}}
+		color[start] = gray
+		path = append(path[:0], start)
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			succs := f.Blocks[fr.b].Succs()
+			if fr.next < len(succs) {
+				s := succs[fr.next]
+				fr.next++
+				if !inGraph(s) || (exempt[fr.b] && s == fr.b) {
+					continue
+				}
+				switch color[s] {
+				case gray:
+					// Found a cycle: the gray stack from s onward.
+					for i, b := range path {
+						if b == s {
+							return append([]int(nil), path[i:]...)
+						}
+					}
+					return []int{s} // self edge
+				case white:
+					color[s] = gray
+					path = append(path, s)
+					stack = append(stack, frame{s, 0})
+				}
+				continue
+			}
+			color[fr.b] = black
+			path = path[:len(path)-1]
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// worstPath reconstructs the maximal-gap path ending at the worst
+// candidate (a probe in block `end`, or `end`'s exit when probeIdx<0),
+// walking the dataflow's argmax predecessors back to the previous probe
+// point or the function entry.
+func worstPath(f *ir.Func, gapIn []int64, argPred []int, hasProbe, exempt []bool, total []int64, end, probeIdx int) []ir.PathStep {
+	chain := []int{end}
+	cur := end
+	for gapIn[cur] > 0 {
+		p := argPred[cur]
+		if p < 0 || len(chain) > len(f.Blocks)+2 {
+			break
+		}
+		chain = append([]int{p}, chain...)
+		if hasProbe[p] {
+			break // the gap restarted at p's last probe
+		}
+		cur = p
+	}
+
+	steps := make([]ir.PathStep, 0, len(chain))
+	for i, b := range chain {
+		blk := f.Blocks[b]
+		step := ir.PathStep{Block: b, Iters: 1}
+		last := i == len(chain)-1
+		switch {
+		case last && probeIdx >= 0:
+			// Weight of the prefix up to the consuming probe.
+			var w int64
+			for j := 0; j < probeIdx; j++ {
+				w += blk.Code[j].Weight()
+			}
+			step.Weight = w
+			step.Note = "probe reached"
+			if exempt[b] {
+				// Unreachable in practice (exempt blocks are probe-free)
+				// but keep the arithmetic coherent.
+				step.Iters = blk.TripBound
+				step.Weight = blk.TripBound * total[b]
+			}
+		case last:
+			if exempt[b] {
+				step.Iters = blk.TripBound
+				step.Weight = blk.TripBound * total[b]
+				step.Note = "bounded self-loop, then exit"
+			} else {
+				step.Weight = total[b]
+				step.Note = "exit"
+			}
+		case i == 0 && hasProbe[b]:
+			// The gap starts after this block's last probe.
+			var w int64
+			for j := len(blk.Code) - 1; j >= 0; j-- {
+				if blk.Code[j].Op == ir.OpProbe {
+					break
+				}
+				w += blk.Code[j].Weight()
+			}
+			step.Weight = w
+			step.Note = "after probe"
+		case exempt[b]:
+			step.Iters = blk.TripBound
+			step.Weight = blk.TripBound * total[b]
+			step.Note = "bounded self-loop"
+		default:
+			step.Weight = total[b]
+			if i == 0 && b == 0 {
+				step.Note = "entry"
+			}
+		}
+		steps = append(steps, step)
+	}
+	return steps
+}

@@ -1,0 +1,211 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/verify"
+)
+
+// probedLoop builds a counted loop with a probe on the latch, the shape
+// TQPass produces.
+func probedLoop(probeLatch bool) *ir.Func {
+	b := ir.NewFunc("loop", 8, 64)
+	header := b.NewBlock()
+	body := b.NewBlock()
+	exit := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, 0)
+	b.Const(2, 100)
+	b.Jump(header)
+	b.SetBlock(header)
+	b.CmpLT(3, 1, 2)
+	b.BranchNZ(3, body, exit)
+	b.SetBlock(body)
+	b.Add(4, 4, 1)
+	b.Const(5, 1)
+	b.Add(1, 1, 5)
+	b.Jump(header)
+	b.SetBlock(exit)
+	b.Ret()
+	f := b.Build()
+	if probeLatch {
+		f.Blocks[body].Code = append(f.Blocks[body].Code,
+			ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{Kind: ir.ProbeTQGated, Every: 4}})
+	}
+	return f
+}
+
+func TestCheckProvesProbedLoop(t *testing.T) {
+	f := probedLoop(true)
+	res := verify.Check(f, 100)
+	if !res.Proved() {
+		t.Fatalf("probed loop refuted: %s", res)
+	}
+	// Worst gap: entry(2) + header(1) + body-before-probe(3) = 6, or the
+	// loop-carried header(1)+body(3)=4, or header(1)+exit(0) at ret.
+	if res.WorstGap != 6 {
+		t.Fatalf("WorstGap = %d, want 6:\n%s", res.WorstGap, res)
+	}
+	if len(res.Path) == 0 {
+		t.Fatal("proved result carries no witness path")
+	}
+}
+
+func TestCheckRefutesUnprobedLoop(t *testing.T) {
+	f := probedLoop(false)
+	res := verify.Check(f, 100)
+	if res.Proved() {
+		t.Fatalf("unprobed loop proved: %s", res)
+	}
+	if res.Status != verify.StatusNoProbeOnCycle {
+		t.Fatalf("status = %v, want NoProbeOnCycle", res.Status)
+	}
+	out := res.String()
+	if !strings.Contains(out, "REFUTED") || !strings.Contains(out, "cycle") {
+		t.Fatalf("refutation text uninformative:\n%s", out)
+	}
+	if len(res.Path) == 0 {
+		t.Fatal("refutation carries no counterexample path")
+	}
+}
+
+func TestCheckRefutesOverlongStraightLine(t *testing.T) {
+	b := ir.NewFunc("straight", 4, 16)
+	for i := 0; i < 30; i++ {
+		b.Add(1, 1, 2)
+	}
+	b.Ret()
+	f := b.Build()
+	// One probe after the first 10 instructions: the probe→exit tail is
+	// 20 weighted instructions.
+	probe := ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{Kind: ir.ProbeTQ}}
+	code := f.Blocks[0].Code
+	f.Blocks[0].Code = append(append(append([]ir.Instr{}, code[:10]...), probe), code[10:]...)
+
+	res := verify.Check(f, 15)
+	if res.Proved() || res.Status != verify.StatusGapExceeded {
+		t.Fatalf("want GapExceeded, got: %s", res)
+	}
+	if res.WorstGap != 20 {
+		t.Fatalf("WorstGap = %d, want 20", res.WorstGap)
+	}
+	// The same function verifies against a laxer bound.
+	if res := verify.Check(f, 20); !res.Proved() {
+		t.Fatalf("bound 20 should prove: %s", res)
+	}
+}
+
+func TestCheckBranchTakesLongestArm(t *testing.T) {
+	// A diamond whose long arm weighs 12 and short arm 2: the verifier
+	// must bound by the longest path, which a dynamic run down the short
+	// arm would miss.
+	b := ir.NewFunc("diamond", 8, 16)
+	long := b.NewBlock()
+	short := b.NewBlock()
+	join := b.NewBlock()
+	b.SetBlock(0)
+	b.Const(1, 1)
+	b.BranchNZ(1, long, short)
+	b.SetBlock(long)
+	for i := 0; i < 12; i++ {
+		b.Add(2, 2, 1)
+	}
+	b.Jump(join)
+	b.SetBlock(short)
+	b.Add(2, 2, 1)
+	b.Add(2, 2, 1)
+	b.Jump(join)
+	b.SetBlock(join)
+	b.Ret()
+	f := b.Build()
+	res := verify.Check(f, 0)
+	if res.WorstGap != 13 { // entry const + long arm
+		t.Fatalf("WorstGap = %d, want 13 (longest arm):\n%s", res.WorstGap, res)
+	}
+}
+
+func TestCheckCallWeighting(t *testing.T) {
+	b := ir.NewFunc("cally", 4, 16)
+	b.Call(2) // one call weighing 2*CallWeight
+	b.Ret()
+	f := b.Build()
+	res := verify.Check(f, 0)
+	if want := int64(2 * ir.CallWeight); res.WorstGap != want {
+		t.Fatalf("WorstGap = %d, want %d", res.WorstGap, want)
+	}
+}
+
+func TestCheckTripBoundedSelfLoop(t *testing.T) {
+	// A probe-free self-loop is refuted without a TripBound and proved
+	// with one, contributing TripBound x weight to the gap.
+	build := func(tb int64) *ir.Func {
+		b := ir.NewFunc("selfloop", 8, 16)
+		loop := b.NewBlock()
+		exit := b.NewBlock()
+		b.SetBlock(0)
+		b.Const(1, 0)
+		b.Const(2, 5)
+		b.Const(3, 1)
+		b.Jump(loop)
+		b.SetBlock(loop)
+		b.Add(1, 1, 3)
+		b.CmpLT(4, 1, 2)
+		b.BranchNZ(4, loop, exit)
+		b.SetBlock(exit)
+		b.Ret()
+		f := b.Build()
+		f.Blocks[loop].TripBound = tb
+		return f
+	}
+	if res := verify.Check(build(0), 0); res.Status != verify.StatusNoProbeOnCycle {
+		t.Fatalf("unbounded self-loop not refuted: %s", res)
+	}
+	res := verify.Check(build(9), 0)
+	if !res.Proved() {
+		t.Fatalf("trip-bounded self-loop refuted: %s", res)
+	}
+	// entry 3 + 9 iterations x 2 weighted instructions... the loop block
+	// weighs 2 (add, cmplt).
+	if want := int64(3 + 9*2); res.WorstGap != want {
+		t.Fatalf("WorstGap = %d, want %d:\n%s", res.WorstGap, want, res)
+	}
+	// The witness path must show the iteration multiplier.
+	if !strings.Contains(res.F.FormatPath(res.Path), "x9") {
+		t.Fatalf("witness path does not show bounded iterations:\n%s", res)
+	}
+}
+
+func TestCheckEntryToFirstProbeCounts(t *testing.T) {
+	// The entry→first-probe stretch is part of the invariant.
+	b := ir.NewFunc("lead-in", 4, 16)
+	for i := 0; i < 50; i++ {
+		b.Add(1, 1, 2)
+	}
+	b.Ret()
+	f := b.Build()
+	f.Blocks[0].Code = append(f.Blocks[0].Code,
+		ir.Instr{Op: ir.OpProbe, Probe: &ir.Probe{Kind: ir.ProbeTQ}})
+	res := verify.Check(f, 40)
+	if res.Proved() {
+		t.Fatalf("50-instruction lead-in proved against bound 40: %s", res)
+	}
+}
+
+func TestCheckUnreachableCycleIgnored(t *testing.T) {
+	// An unreachable probe-free loop must not refute: execution can
+	// never enter it.
+	b := ir.NewFunc("dead-loop", 4, 16)
+	dead := b.NewBlock()
+	b.SetBlock(0)
+	b.Add(1, 1, 2)
+	b.Ret()
+	b.SetBlock(dead)
+	b.Add(1, 1, 2)
+	b.Jump(dead)
+	f := b.Build()
+	if res := verify.Check(f, 10); !res.Proved() {
+		t.Fatalf("unreachable cycle refuted the function: %s", res)
+	}
+}
