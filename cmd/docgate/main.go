@@ -1,0 +1,151 @@
+// Command docgate enforces the documented-surface contract on the
+// packages whose godoc is part of the repository's public story:
+// every exported identifier in the named package directories must
+// carry a doc comment, and every package must have a package comment.
+//
+// Usage:
+//
+//	docgate ./internal/obs ./internal/cluster ./internal/verify ./internal/analysis/tqvet
+//
+// One line per violation ("file:line: exported X is undocumented"),
+// exit status 1 if any are found. CI runs it next to go vet and
+// gofmt so the documented packages cannot silently grow an
+// undocumented surface.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docgate <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		n, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docgate:", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docgate: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded — their
+// exported helpers are not godoc surface) and reports each exported
+// declaration that lacks a doc comment.
+func checkDir(dir string) (bad int, err error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s\n", filepath.ToSlash(p.Filename), p.Line, what)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Name.IsExported() && d.Doc == nil && !isExportedMethodOfUnexported(d) {
+						report(d.Pos(), "exported "+funcLabel(d)+" is undocumented")
+					}
+				case *ast.GenDecl:
+					checkGenDecl(d, report)
+				}
+			}
+		}
+		if !hasPkgDoc {
+			// Anchor the complaint to any file of the package.
+			for name, f := range pkg.Files {
+				_ = name
+				report(f.Package, "package "+pkg.Name+" has no package comment")
+				break
+			}
+		}
+	}
+	return bad, nil
+}
+
+// isExportedMethodOfUnexported reports whether d is a method on an
+// unexported receiver type: its godoc is invisible, so the gate does
+// not require a comment (though interface-satisfying methods often
+// still carry one).
+func isExportedMethodOfUnexported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return false
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return !tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func funcLabel(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method " + d.Name.Name
+	}
+	return "function " + d.Name.Name
+}
+
+// checkGenDecl walks a const/var/type declaration. A doc comment on
+// the grouped declaration covers the whole group (the standard godoc
+// convention for const blocks); otherwise each exported spec needs its
+// own.
+func checkGenDecl(d *ast.GenDecl, report func(token.Pos, string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "exported type "+s.Name.Name+" is undocumented")
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(name.Pos(), "exported "+kindWord(d.Tok)+" "+name.Name+" is undocumented")
+				}
+			}
+		}
+	}
+}
+
+func kindWord(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

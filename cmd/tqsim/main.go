@@ -26,9 +26,9 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -38,7 +38,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "sweep worker pool size: 0 = GOMAXPROCS, 1 = sequential")
 	progress := flag.Bool("progress", false, "print per-point sweep progress to stderr")
-	traceOut := flag.String("trace", "", "write a chrome://tracing timeline of a short TQ run to this file and exit")
+	traceOut := flag.String("trace", "", "write a Perfetto-loadable TQ-vs-Shinjuku comparison timeline to this file and exit")
+	metricsOut := flag.String("metrics", "", "write a windowed scheduling time series (TSV) of a short TQ run to this file and exit")
 	slo := flag.String("slo", "", `per-class sojourn SLOs for goodput, e.g. "GET=50us,SCAN=1ms" or a bare "100us" for all classes`)
 	flag.Parse()
 	if *traceOut != "" {
@@ -46,7 +47,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tqsim:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote scheduling timeline to %s (open in chrome://tracing or Perfetto)\n", *traceOut)
+		fmt.Printf("wrote TQ-vs-Shinjuku timeline to %s (open in https://ui.perfetto.dev, or run: tqtrace summarize %s)\n",
+			*traceOut, *traceOut)
+		return
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote windowed scheduling metrics to %s\n", *metricsOut)
 		return
 	}
 	if *fig == "" {
@@ -158,31 +168,61 @@ func run(fig string, sc experiments.Scale) {
 	}
 }
 
-// writeTrace records a short Extreme Bimodal TQ run and dumps its
-// timeline: watch long jobs' quanta interleave with short jobs on the
-// per-worker lanes.
-func writeTrace(path string, seed uint64) error {
+// traceConfig is the canned short run behind -trace and -metrics: the
+// Extreme Bimodal workload at 60% load on two cores, where forced
+// multitasking visibly interleaves 0.5µs and 500µs jobs.
+func traceConfig(seed uint64, workers int) cluster.RunConfig {
 	w := workload.ExtremeBimodal()
-	p := cluster.NewTQParams()
-	p.Workers = 4
-	rec := &trace.Recorder{}
-	p.Trace = rec
-	cluster.NewTQ(p).Run(cluster.RunConfig{
+	return cluster.RunConfig{
 		Workload: w,
-		Rate:     0.6 * w.MaxLoad(p.Workers),
+		Rate:     0.6 * w.MaxLoad(workers),
 		Duration: 2 * sim.Millisecond,
 		Warmup:   0,
 		Seed:     seed,
-	})
-	if err := rec.Validate(); err != nil {
-		return fmt.Errorf("invalid timeline: %w", err)
+	}
+}
+
+// writeTrace records the same short Extreme Bimodal run under TQ and
+// Shinjuku and dumps both timelines into one Perfetto-loadable file:
+// watch probe-yields interleave long jobs' quanta on TQ's lanes while
+// Shinjuku preempts by interrupt and re-dispatches.
+func writeTrace(path string, seed uint64) error {
+	const workers = 2
+	tq := cluster.NewTQParams()
+	tq.Workers = workers
+	sj := cluster.NewShinjukuParams(5 * sim.Microsecond)
+	sj.Workers = workers
+	procs, err := cluster.TraceComparison(traceConfig(seed, workers), 0,
+		cluster.NewTQ(tq), cluster.NewShinjuku(sj))
+	if err != nil {
+		return err
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return rec.WriteChrome(f)
+	return obs.WriteChrome(f, procs...)
+}
+
+// writeMetrics records the canned TQ run and renders it as a windowed
+// time series: utilization, occupancy, preemption and drop rates, and
+// sliding sojourn quantiles per 100µs window.
+func writeMetrics(path string, seed uint64) error {
+	const workers = 2
+	tq := cluster.NewTQParams()
+	tq.Workers = workers
+	procs, err := cluster.TraceComparison(traceConfig(seed, workers), 0, cluster.NewTQ(tq))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	wins := obs.Windows(procs[0].Events, int64(100*sim.Microsecond))
+	return obs.WriteWindowsTSV(f, wins)
 }
 
 // showGoodput enables the goodput blocks in printComparison; set when

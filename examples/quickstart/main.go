@@ -10,10 +10,17 @@
 // Run with:
 //
 //	go run ./examples/quickstart
+//
+// Pass -trace to also record the TQ run's scheduling timeline as
+// Chrome trace-event JSON — open it at https://ui.perfetto.dev, or
+// inspect it with `go run ./cmd/tqtrace summarize trace.json`. See
+// EXPERIMENTS.md "Reading a trace" for a guided tour.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -39,8 +46,12 @@ func work(y *tqrt.Yield, active time.Duration) {
 	}
 }
 
-func run(quantum time.Duration) (p50, p99 time.Duration) {
-	rt := tqrt.New(tqrt.Config{Workers: 1, Coroutines: 8, Quantum: quantum})
+func run(quantum time.Duration, tracePath string) (p50, p99 time.Duration) {
+	cfg := tqrt.Config{Workers: 1, Coroutines: 8, Quantum: quantum}
+	if tracePath != "" {
+		cfg.TraceCap = 1 << 16
+	}
+	rt := tqrt.New(cfg)
 	rt.Start()
 
 	// Four 5ms jobs grab the worker first.
@@ -64,16 +75,36 @@ func run(quantum time.Duration) (p50, p99 time.Duration) {
 	}
 	rt.Stop()
 
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickstart:", err)
+			os.Exit(1)
+		}
+		if err := rt.WriteTrace(f, "quickstart-TQ"); err != nil {
+			fmt.Fprintln(os.Stderr, "quickstart:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	return lats[len(lats)/2], lats[len(lats)-1]
 }
 
 func main() {
-	psP50, psP99 := run(20 * time.Microsecond) // TQ: 20µs quanta
-	fcfsP50, fcfsP99 := run(0)                 // FCFS: no preemption
+	tracePath := flag.String("trace", "", "write the TQ run's scheduling timeline (Chrome trace JSON) to this file")
+	flag.Parse()
+
+	psP50, psP99 := run(20*time.Microsecond, *tracePath) // TQ: 20µs quanta
+	fcfsP50, fcfsP99 := run(0, "")                       // FCFS: no preemption
 
 	fmt.Printf("%-24s short-job p50=%-12v worst=%v\n", "TQ (20µs quanta):", psP50, psP99)
 	fmt.Printf("%-24s short-job p50=%-12v worst=%v\n", "FCFS (no preemption):", fcfsP50, fcfsP99)
 	fmt.Println("\nWith tiny quanta, short jobs overtake the in-progress 5ms jobs;")
 	fmt.Println("under FCFS they wait for whole long jobs to finish first.")
+	if *tracePath != "" {
+		fmt.Printf("\nwrote TQ timeline to %s (open in https://ui.perfetto.dev, or: go run ./cmd/tqtrace summarize %s)\n",
+			*tracePath, *tracePath)
+	}
 }

@@ -1,0 +1,27 @@
+// Package tqvet statically checks Go code that runs tasks on the live
+// Tiny Quanta runtime (internal/tqrt). It is the source-level
+// counterpart of the IR verifier in internal/verify: where that proves
+// the probe-gap invariant over instrumented IR, tqvet flags the ways a
+// hand-written task body can break blind scheduling —
+//
+//   - a loop in a task that can complete an iteration without reaching
+//     a probe (the task would hog its worker past the quantum);
+//   - blocking operations inside a task (channel sends/receives,
+//     selects without a default, time.Sleep, mutex/WaitGroup waits):
+//     a blocked task stalls the whole worker, defeating µs-scale
+//     scheduling;
+//   - probe calls that are unreachable behind early returns or breaks
+//     (the author believes the task probes, but it cannot).
+//
+// The analysis is syntactic and deliberately conservative in what it
+// assumes probes: a direct y.Probe() call, any call that receives the
+// yield as an argument (the callee may probe), and any call passed a
+// closure that captures the yield. Findings can be suppressed with a
+// `//tqvet:ignore <why>` comment on the offending line or the line
+// above.
+//
+// The Analyzer/Pass/Diagnostic types mirror the shape of
+// golang.org/x/tools/go/analysis so the checker can be lifted onto
+// that driver when vendoring it is an option; here the self-contained
+// driver in cmd/tqvet runs it with only the standard library.
+package tqvet

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -20,6 +21,8 @@ const (
 	Directpath
 )
 
+// String names the mode as it appears in system labels ("iokernel",
+// "directpath").
 func (m CaladanMode) String() string {
 	if m == IOKernel {
 		return "iokernel"
@@ -136,10 +139,12 @@ func (r *calRun) scheduleNextArrival() {
 	}
 	r.eng.At(req.Arrival, func() {
 		r.scheduleNextArrival()
+		r.met.emit(req.Arrival, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
 		// The RX ring bounds the IOKernel's backlog in packets — the
 		// ring holds descriptors, not time — so the bound applies even
 		// when IOKCost is zero. Directpath admits everything.
 		if !r.adm.tryAdmit(0, req.Arrival) {
+			r.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
 			return
 		}
 		j := r.pool.get()
@@ -177,11 +182,16 @@ func (r *calRun) scheduleNextArrival() {
 // worker is busy but another is idle and spinning, the idle worker
 // steals the job after the steal latency — Caladan's work stealing
 // keeps cores busy whenever any work exists.
+//
+// Dispatch records where RSS (or the steal at delivery) bound the job;
+// under later stealing the quantum may run on a different core than
+// the one dispatched to, which the timeline shows faithfully.
 func (r *calRun) deliver(w int, j *job) {
 	wk := &r.workers[w]
 	if !wk.busy {
 		wk.busy = true
 		r.removeIdle(w)
+		r.met.emit(r.eng.Now(), obs.Dispatch, j.id, j.class, int32(w))
 		r.runJob(w, j)
 		return
 	}
@@ -193,9 +203,11 @@ func (r *calRun) deliver(w int, j *job) {
 		r.idle = r.idle[:len(r.idle)-1]
 		twk := &r.workers[thief]
 		twk.busy = true
+		r.met.emit(r.eng.Now(), obs.Dispatch, j.id, j.class, int32(thief))
 		r.eng.After(r.m.P.StealCost, func() { r.runJob(thief, j) })
 		return
 	}
+	r.met.emit(r.eng.Now(), obs.Dispatch, j.id, j.class, int32(w))
 	wk.queue.Push(j)
 }
 
@@ -209,9 +221,14 @@ func (r *calRun) removeIdle(w int) {
 	}
 }
 
-// runJob executes j to completion on worker w (FCFS, no preemption).
+// runJob executes j to completion on worker w (FCFS, no preemption):
+// exactly one quantum per task, ending in finish.
 func (r *calRun) runJob(w int, j *job) {
+	r.met.emit(r.eng.Now(), obs.QuantumStart, j.id, j.class, int32(w))
 	r.eng.After(j.remain, func() {
+		now := r.eng.Now()
+		r.met.emit(now, obs.QuantumEnd, j.id, j.class, int32(w))
+		r.met.emit(now, obs.Finish, j.id, j.class, int32(w))
 		r.met.record(j, r.eng.Now())
 		r.pool.put(j)
 		if r.m.P.Mode == IOKernel {
@@ -273,8 +290,22 @@ func NewBestCaladan(class string) Machine { return bestCaladan{class: class} }
 // BestCaladan runs the configuration under both modes and returns the
 // better result, judged by the p99.9 sojourn of the given class (or
 // overall throughput if class is empty) — mirroring §5.1's "we evaluate
-// Caladan under both modes and report the better one".
+// Caladan under both modes and report the better one". With an obs
+// recorder attached, the two judging runs go untraced and the winning
+// mode is deterministically re-run into the recorder, so the timeline
+// holds exactly one machine's events.
 func BestCaladan(cfg RunConfig, class string) *Result {
+	if cfg.Obs != nil {
+		rec := cfg.Obs
+		cfg.Obs = nil
+		winner := BestCaladan(cfg, class)
+		mode := Directpath
+		if winner.System == "Caladan-iokernel" {
+			mode = IOKernel
+		}
+		cfg.Obs = rec
+		return NewCaladan(NewCaladanParams(mode)).Run(cfg)
+	}
 	iok := NewCaladan(NewCaladanParams(IOKernel)).Run(cfg)
 	dp := NewCaladan(NewCaladanParams(Directpath)).Run(cfg)
 	if class == "" {

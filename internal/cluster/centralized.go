@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -42,20 +43,25 @@ type ctRun struct {
 	adm   *admission
 	pool  jobPool
 	queue core.FIFO[*job]
-	idle  int
-	gen   *workload.Generator
+	// free lists idle core indices. Worker identity is immaterial to the
+	// idealized model's results, but giving each core a stable index lets
+	// the machine share the per-core timeline vocabulary with the others.
+	free []int32
+	gen  *workload.Generator
 }
 
 // Run implements Machine.
 func (c *CentralizedPS) Run(cfg RunConfig) *Result {
 	cfg.validate()
 	r := &ctRun{
-		m:    c,
-		eng:  sim.New(),
-		cfg:  cfg,
-		met:  newMetrics(cfg),
-		idle: c.Workers,
-		gen:  workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
+		m:   c,
+		eng: sim.New(),
+		cfg: cfg,
+		met: newMetrics(cfg),
+		gen: workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
+	}
+	for i := c.Workers - 1; i >= 0; i-- {
+		r.free = append(r.free, int32(i)) // pop from the end: core 0 first
 	}
 	// The idealized scheduler has no bounded RX stage (limit 0): the
 	// gate admits everything, but the arrive path still goes through it
@@ -75,7 +81,11 @@ func (r *ctRun) scheduleNextArrival() {
 	}
 	r.eng.At(req.Arrival, func() {
 		r.scheduleNextArrival()
+		r.met.emit(req.Arrival, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
+		// The unbounded gate admits everything; the check keeps the
+		// accounting (and, were a limit ever set, the drop) uniform.
 		if !r.adm.tryAdmit(0, req.Arrival) {
+			r.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
 			return
 		}
 		j := r.pool.get()
@@ -85,48 +95,65 @@ func (r *ctRun) scheduleNextArrival() {
 		j.base = req.Service
 		j.service = req.Service
 		j.remain = req.Service
-		if r.idle > 0 {
-			r.idle--
-			r.runQuantum(j)
+		if n := len(r.free); n > 0 {
+			core := r.free[n-1]
+			r.free = r.free[:n-1]
+			r.mount(j, core)
 		} else {
 			r.queue.Push(j)
 		}
 	})
 }
 
-// runQuantum executes one quantum of j on some worker (worker identity
-// is immaterial in the idealized model) and decides what the core does
-// next at the quantum boundary.
-func (r *ctRun) runQuantum(j *job) {
+// mount puts j on an idle core: in timeline terms the free scheduler
+// dispatches the job (again, after a preemption) and its quantum opens.
+// Back-to-back quanta of the same job on the same core stay merged into
+// one open quantum — the core never actually switches.
+func (r *ctRun) mount(j *job, core int32) {
+	now := r.eng.Now()
+	r.met.emit(now, obs.Dispatch, j.id, j.class, core)
+	r.met.emit(now, obs.QuantumStart, j.id, j.class, core)
+	r.runQuantum(j, core)
+}
+
+// runQuantum executes one quantum of j on the given core and decides
+// what the core does next at the quantum boundary.
+func (r *ctRun) runQuantum(j *job, core int32) {
 	slice := j.remain
 	if slice > r.m.Quantum {
 		slice = r.m.Quantum
 	}
 	r.eng.After(slice, func() {
 		j.remain -= slice
+		now := r.eng.Now()
 		if j.remain <= 0 {
-			r.met.record(j, r.eng.Now())
+			r.met.emit(now, obs.QuantumEnd, j.id, j.class, core)
+			r.met.emit(now, obs.Finish, j.id, j.class, core)
+			r.met.record(j, now)
 			r.pool.put(j)
 			if next, ok := r.queue.Pop(); ok {
-				r.runQuantum(next)
+				r.mount(next, core)
 			} else {
-				r.idle++
+				r.free = append(r.free, core)
 			}
 			return
 		}
 		next, ok := r.queue.Pop()
 		if !ok {
 			// Nothing else to run: keep executing the same job without
-			// a preemption (real PS would not switch).
-			r.runQuantum(j)
+			// a preemption (real PS would not switch). The open quantum
+			// extends rather than closing and reopening.
+			r.runQuantum(j, core)
 			return
 		}
 		// Preempt: pay the switch overhead, requeue, run the next job.
+		r.met.emit(now, obs.QuantumEnd, j.id, j.class, core)
+		r.met.emit(now, obs.Preempt, j.id, j.class, core)
 		r.queue.Push(j)
 		if r.m.PreemptOverhead > 0 {
-			r.eng.After(r.m.PreemptOverhead, func() { r.runQuantum(next) })
+			r.eng.After(r.m.PreemptOverhead, func() { r.mount(next, core) })
 		} else {
-			r.runQuantum(next)
+			r.mount(next, core)
 		}
 	})
 }

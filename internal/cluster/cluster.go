@@ -1,29 +1,9 @@
-// Package cluster contains discrete-event models of the scheduling
-// systems the Tiny Quanta paper evaluates (§5.1):
-//
-//   - TQ: the paper's system — a load-balancing-only dispatcher plus
-//     per-core processor-sharing over coroutines (two-level scheduling
-//     with forced multitasking), including the §5.4 variants (TQ-IC,
-//     TQ-SLOW-YIELD, TQ-TIMING, TQ-RAND, TQ-POWER-TWO, TQ-FCFS);
-//   - Shinjuku: centralized single-queue scheduling with interrupt-based
-//     preemption (Dune-style, ≈1µs interrupt latency);
-//   - Caladan: FCFS run-to-completion with RSS steering and work
-//     stealing, in IOKernel or directpath mode;
-//   - CentralizedPS: the idealized zero-overhead centralized processor
-//     sharing used by the §2 motivation simulations (Figures 1, 2, 4).
-//
-// All models share an event-level abstraction: jobs carry service
-// demands, workers execute quanta serially, and every mechanism cost
-// (coroutine yield, hardware interrupt, dispatcher op) is an explicit
-// parameter. Absolute numbers therefore depend on the calibration
-// constants in this file, but the comparative shapes — who saturates
-// first and where latency knees appear — depend only on the modelled
-// mechanisms, which is what the reproduction targets.
 package cluster
 
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -79,6 +59,15 @@ type RunConfig struct {
 	// Targets are on sojourn (not end-to-end) time so goodput compares
 	// across machines with different modelled RTTs.
 	SLOs map[string]sim.Time
+	// Obs, when non-nil, receives the run's scheduling timeline in the
+	// unified event vocabulary (package obs): arrivals on the loadgen
+	// track, drops and dispatches on the dispatcher track, quanta and
+	// their probe-yield/preempt/finish outcomes on the worker tracks.
+	// All machine models emit the same vocabulary, so two runs recorded
+	// into two recorders compare directly (obs.WriteChrome, obs.Diff).
+	// Recording is per run: give concurrent runs (parallel sweeps)
+	// separate recorders.
+	Obs obs.Recorder
 }
 
 func (c RunConfig) validate() {
@@ -225,6 +214,20 @@ func (m *metrics) admission(limit, lanes int) *admission {
 	m.adm = newAdmission(m.cfg.Warmup, limit, lanes)
 	return m.adm
 }
+
+// emit records a scheduling event in the unified vocabulary when
+// RunConfig.Obs is attached; with no recorder it is a nil check. All
+// machine models funnel their timeline through this one helper so the
+// event semantics cannot drift between models.
+func (m *metrics) emit(t sim.Time, k obs.Kind, task uint64, class workload.Class, core int32) {
+	if m.cfg.Obs != nil {
+		m.cfg.Obs.Emit(obs.Event{T: int64(t), Task: task, Core: core, Class: int16(class), Kind: k})
+	}
+}
+
+// tracing reports whether an obs recorder is attached; machines use it
+// to skip event construction work that would otherwise be wasted.
+func (m *metrics) tracing() bool { return m.cfg.Obs != nil }
 
 // record notes a completion at time now for a job that arrived at
 // j.arrival with base demand j.base. Only completions inside the

@@ -1,0 +1,31 @@
+// Package cluster contains discrete-event models of the scheduling
+// systems the Tiny Quanta paper evaluates (§5.1):
+//
+//   - TQ: the paper's system — a load-balancing-only dispatcher plus
+//     per-core processor-sharing over coroutines (two-level scheduling
+//     with forced multitasking), including the §5.4 variants (TQ-IC,
+//     TQ-SLOW-YIELD, TQ-TIMING, TQ-RAND, TQ-POWER-TWO, TQ-FCFS);
+//   - Shinjuku: centralized single-queue scheduling with interrupt-based
+//     preemption (Dune-style, ≈1µs interrupt latency);
+//   - Caladan: FCFS run-to-completion with RSS steering and work
+//     stealing, in IOKernel or directpath mode;
+//   - CentralizedPS: the idealized zero-overhead centralized processor
+//     sharing used by the §2 motivation simulations (Figures 1, 2, 4).
+//
+// All models share an event-level abstraction: jobs carry service
+// demands, workers execute quanta serially, and every mechanism cost
+// (coroutine yield, hardware interrupt, dispatcher op) is an explicit
+// parameter. Absolute numbers therefore depend on the calibration
+// constants in cluster.go, but the comparative shapes — who saturates
+// first and where latency knees appear — depend only on the modelled
+// mechanisms, which is what the reproduction targets.
+//
+// Every model also speaks the unified observability vocabulary of
+// internal/obs: set RunConfig.Obs to record a per-quantum scheduling
+// timeline, and use TraceComparison to run several machines on the
+// same configuration into side-by-side Perfetto tracks. The event
+// vocabulary is identical across machines — only the mechanisms
+// differ: TQ yields at probes (probe-yield), Shinjuku and
+// CentralizedPS preempt by interrupt (preempt), Caladan runs every
+// job to completion (neither).
+package cluster

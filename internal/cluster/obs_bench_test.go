@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchRunTQ is the standard sweep point used to guard the
+// observability layer's tracing-off overhead: a mid-load Extreme
+// Bimodal run on the default TQ machine. BenchmarkTQRunTraceOff must
+// stay within noise of the pre-observability baseline recorded in
+// EXPERIMENTS.md.
+func benchRunTQ(b *testing.B, cfg RunConfig) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := NewTQ(NewTQParams()).Run(cfg)
+		if res.Completed == 0 {
+			b.Fatal("benchmark run completed nothing")
+		}
+	}
+}
+
+func benchConfig() RunConfig {
+	w := workload.ExtremeBimodal()
+	return RunConfig{
+		Workload: w,
+		Rate:     0.6 * w.MaxLoad(16),
+		Duration: 20 * sim.Millisecond,
+		Warmup:   2 * sim.Millisecond,
+		Seed:     1,
+	}
+}
+
+// BenchmarkTQRunTraceOff is the guard benchmark: a full TQ run with no
+// recorder attached. Its cost must not regress when observability is
+// compiled in but disabled.
+func BenchmarkTQRunTraceOff(b *testing.B) {
+	benchRunTQ(b, benchConfig())
+}
+
+// BenchmarkTQRunObsOn measures the same run with an obs ring attached,
+// quantifying the cost a user pays for a full timeline. The ring is
+// reset between iterations so recording stays in the fast append path.
+func BenchmarkTQRunObsOn(b *testing.B) {
+	cfg := benchConfig()
+	rec := obs.NewRing(1 << 22)
+	cfg.Obs = rec
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		res := NewTQ(NewTQParams()).Run(cfg)
+		if res.Completed == 0 {
+			b.Fatal("benchmark run completed nothing")
+		}
+	}
+	if rec.Truncated() {
+		b.Fatal("benchmark ring truncated; grow it")
+	}
+}

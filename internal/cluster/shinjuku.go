@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -194,11 +195,13 @@ func (r *sjRun) scheduleNextArrival() {
 	}
 	r.eng.At(req.Arrival, func() {
 		r.scheduleNextArrival()
+		r.met.emit(req.Arrival, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
 		// A saturated dispatcher drops packets at the RX ring. The
 		// ring holds incoming requests only — outgoing responses use
 		// their own TX descriptors — and the request occupies its slot
 		// until the dispatcher's packet-processing op finishes with it.
 		if !r.adm.tryAdmit(0, req.Arrival) {
+			r.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
 			return
 		}
 		j := r.pool.get()
@@ -244,6 +247,10 @@ func (r *sjRun) startOn(w int, j *job) {
 	wk.current = j
 	wk.started = r.eng.Now()
 	gen := wk.gen
+	// Every mount is a fresh dispatcher decision — a preempted job is
+	// re-dispatched, unlike TQ where it stays resident on its worker.
+	r.met.emit(wk.started, obs.Dispatch, j.id, j.class, int32(w))
+	r.met.emit(wk.started, obs.QuantumStart, j.id, j.class, int32(w))
 
 	r.eng.After(j.remain, func() {
 		if wk.gen != gen {
@@ -273,6 +280,8 @@ func (r *sjRun) complete(w int, j *job) {
 	wk.gen++
 	wk.busy = false
 	wk.current = nil
+	r.met.emit(r.eng.Now(), obs.QuantumEnd, j.id, j.class, int32(w))
+	r.met.emit(r.eng.Now(), obs.Finish, j.id, j.class, int32(w))
 	r.met.record(j, r.eng.Now())
 	r.pool.put(j)
 	// Response goes out through the networking half of the centralized
@@ -300,6 +309,8 @@ func (r *sjRun) preempt(w int) {
 	wk.gen++
 	wk.busy = false
 	wk.current = nil
+	r.met.emit(r.eng.Now(), obs.QuantumEnd, j.id, j.class, int32(w))
+	r.met.emit(r.eng.Now(), obs.Preempt, j.id, j.class, int32(w))
 	r.eng.After(r.m.P.InterruptOverhead, func() {
 		r.queue.Push(j)
 		r.idle = append(r.idle, w)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -275,6 +276,7 @@ func (r *tqRun) arrive(req workload.Request) {
 		d = r.rss.Steer(req.ID, len(r.dispBusyUntil))
 	}
 	r.emit(trace.Event{T: now, Kind: trace.Arrive, Job: req.ID, Class: int(req.Class), Worker: -1})
+	r.met.emit(now, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
 	// The RX ring bounds the dispatcher's backlog in requests — a ring
 	// holds descriptors, not time — so the bound applies even when
 	// DispatchCost is zero. The request occupies its slot until the
@@ -282,6 +284,7 @@ func (r *tqRun) arrive(req workload.Request) {
 	if !r.adm.tryAdmit(d, req.Arrival) {
 		// RX ring overflow: the packet is dropped.
 		r.emit(trace.Event{T: now, Kind: trace.Drop, Job: req.ID, Class: int(req.Class), Worker: -1})
+		r.met.emit(now, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
 		return
 	}
 	if r.dispBusyUntil[d] < now {
@@ -309,6 +312,7 @@ func (r *tqRun) dispatch(j *job) {
 	r.tracker.Assign(w)
 	j.worker = w
 	r.emit(trace.Event{T: r.eng.Now(), Kind: trace.Dispatch, Job: j.id, Class: int(j.class), Worker: w})
+	r.met.emit(r.eng.Now(), obs.Dispatch, j.id, j.class, int32(w))
 	wk := &r.workers[w]
 	wk.waiting.Push(j)
 	if !wk.running {
@@ -366,8 +370,10 @@ func (r *tqRun) step(w int) {
 	now := r.eng.Now()
 	end := now + admitCost + slice
 	r.emit(trace.Event{T: now + admitCost, Kind: trace.QuantumStart, Job: j.id, Class: int(j.class), Worker: w})
+	r.met.emit(now+admitCost, obs.QuantumStart, j.id, j.class, int32(w))
 	r.eng.After(admitCost+slice+r.m.P.YieldOverhead, func() {
 		r.emit(trace.Event{T: end, Kind: trace.QuantumEnd, Job: j.id, Class: int(j.class), Worker: w})
+		r.met.emit(end, obs.QuantumEnd, j.id, j.class, int32(w))
 		if slice >= q && j.remain > q {
 			// A true preemption: the realized interval includes the
 			// switch cost — what Figure 16 compares to the target.
@@ -383,9 +389,14 @@ func (r *tqRun) step(w int) {
 			wk.finished++
 			wk.idle++
 			r.emit(trace.Event{T: end, Kind: trace.Finish, Job: j.id, Class: int(j.class), Worker: w})
+			r.met.emit(end, obs.Finish, j.id, j.class, int32(w))
 			r.met.record(j, end)
 			r.pool.put(j)
 		} else {
+			// The probe fired and the coroutine yielded voluntarily —
+			// TQ's forced multitasking shows up as probe-yield, never as
+			// an interrupt-style preempt.
+			r.met.emit(end, obs.ProbeYield, j.id, j.class, int32(w))
 			wk.pushRunnable(r.m.P.Policy, j)
 		}
 		r.step(w)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -42,6 +43,14 @@ type ClientConfig struct {
 	Retries int
 	// BackoffCap bounds the resend wait; <= 0 means 8x Timeout.
 	BackoffCap time.Duration
+	// Obs, when non-nil, records the client-side view of every request
+	// in the unified event vocabulary: arrive at first send, finish at
+	// response receipt, drop when a send fails or the retry budget is
+	// exhausted — all on the loadgen track, since the client cannot see
+	// inside the server. Timestamps are ns since the client started.
+	// Emissions happen under the client's internal lock, so a plain
+	// obs.Ring is safe here.
+	Obs obs.Recorder
 }
 
 // KindStats aggregates one request kind's outcomes.
@@ -106,6 +115,13 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 
 	report := &Report{PerKind: map[uint16]*KindStats{}}
 	var mu sync.Mutex
+	baseNs := time.Now().UnixNano()
+	// emit records a client-view event; callers hold mu.
+	emit := func(nowNs int64, k obs.Kind, id uint64, kind uint16, core int32) {
+		if cfg.Obs != nil {
+			cfg.Obs.Emit(obs.Event{T: nowNs - baseNs, Task: id, Core: core, Class: int16(kind), Kind: k})
+		}
+	}
 
 	retry := cfg.Timeout > 0
 	maxRetries := cfg.Retries
@@ -156,6 +172,7 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 			ks := report.Kind(resp.Kind)
 			ks.Received++
 			ks.Latencies = append(ks.Latencies, time.Duration(nowNs-sentNs))
+			emit(nowNs, obs.Finish, resp.ID, resp.Kind, obs.CoreLoadgen)
 			mu.Unlock()
 		}
 	}()
@@ -190,6 +207,7 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 					if p.attempts >= maxRetries {
 						delete(pending, id)
 						report.Kind(p.kind).Abandoned++
+						emit(now.UnixNano(), obs.Drop, id, p.kind, obs.CoreLoadgen)
 						continue
 					}
 					p.attempts++
@@ -222,10 +240,12 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 		id++
 		req := Request{ID: id, SentNs: time.Now().UnixNano(), Kind: kind, Payload: payload}
 		pkt = EncodeRequest(pkt[:0], &req)
+		// Record the arrival (and register the retry state) before the
+		// send, so a response processed on the reader goroutine can never
+		// beat its own request into the timeline.
+		mu.Lock()
+		emit(req.SentNs, obs.Arrive, id, kind, obs.CoreLoadgen)
 		if retry {
-			// Register before sending so the response can never beat
-			// the bookkeeping; unregister if the send fails.
-			mu.Lock()
 			pending[id] = &pendingReq{
 				kind:     kind,
 				payload:  append([]byte(nil), payload...),
@@ -233,14 +253,15 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 				deadline: time.Now().Add(cfg.Timeout),
 				backoff:  min(2*cfg.Timeout, backoffCap),
 			}
-			mu.Unlock()
 		}
+		mu.Unlock()
 		if _, err := conn.Write(pkt); err != nil {
+			mu.Lock()
+			emit(time.Now().UnixNano(), obs.Drop, id, kind, obs.CoreLoadgen)
 			if retry {
-				mu.Lock()
 				delete(pending, id)
-				mu.Unlock()
 			}
+			mu.Unlock()
 			continue
 		}
 		mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -193,4 +194,94 @@ func TestRunClientInvalidConfigPanics(t *testing.T) {
 		}
 	}()
 	RunClient(ClientConfig{Rate: 0})
+}
+
+// deafServer answers everything except requests whose ID is divisible
+// by three — those are swallowed on every attempt, forcing the client
+// to abandon them.
+func deafServer(t *testing.T) (*net.UDPAddr, func()) {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 2048)
+		var out []byte
+		for {
+			n, client, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			req, err := DecodeRequest(buf[:n])
+			if err != nil || req.ID%3 == 0 {
+				continue
+			}
+			resp := Response{ID: req.ID, SentNs: req.SentNs, Kind: req.Kind, ServerNs: 1}
+			out = EncodeResponse(out[:0], &resp)
+			conn.WriteToUDP(out, client)
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr), func() {
+		conn.Close()
+		wg.Wait()
+	}
+}
+
+// TestRunClientRecordsClientViewTimeline checks the loadgen's obs
+// stream: arrive/finish pairs on the loadgen track that validate under
+// the shared grammar, with drops for abandoned requests so the traced
+// timeline stays conserved even when the server goes deaf.
+func TestRunClientRecordsClientViewTimeline(t *testing.T) {
+	addr, stop := deafServer(t)
+	defer stop()
+	rec := obs.NewRing(1 << 16)
+	report, err := RunClient(ClientConfig{
+		Addr:     addr,
+		Rate:     500,
+		Duration: 200 * time.Millisecond,
+		Drain:    500 * time.Millisecond,
+		Seed:     3,
+		Timeout:  20 * time.Millisecond,
+		Retries:  1,
+		Obs:      rec,
+		Next: func(r *rng.Rand) (uint16, []byte) {
+			return 1, []byte("key0")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Truncated() {
+		t.Fatal("recording truncated; grow the test ring")
+	}
+	events := rec.Events()
+	if err := obs.Validate(events); err != nil {
+		t.Fatalf("invalid client timeline: %v", err)
+	}
+	s := obs.Summarize("client", events)
+	ks := report.Kind(1)
+	if s.Tasks != ks.Sent {
+		t.Fatalf("timeline has %d arrivals, report sent %d", s.Tasks, ks.Sent)
+	}
+	if s.Finished != ks.Received {
+		t.Fatalf("timeline has %d finishes, report received %d", s.Finished, ks.Received)
+	}
+	if ks.Abandoned == 0 {
+		t.Fatal("deaf server but nothing abandoned; test needs a longer drain")
+	}
+	if s.Dropped != ks.Abandoned {
+		t.Fatalf("timeline has %d drops, report abandoned %d", s.Dropped, ks.Abandoned)
+	}
+	if err := obs.Conserved(events); err != nil {
+		t.Fatalf("client timeline not conserved: %v", err)
+	}
+	for _, e := range events {
+		if e.Core != obs.CoreLoadgen {
+			t.Fatalf("client-view event on core %d; everything belongs on the loadgen track", e.Core)
+		}
+	}
 }

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Process is one scheduler's timeline in an exported trace: a named
+// group of events sharing a pid in the Chrome trace-event file. A
+// comparison trace (tqsim -trace, tqtrace export) holds one Process
+// per machine so Perfetto shows the schedulers stacked on a shared
+// time axis.
+type Process struct {
+	// Name labels the process group (the machine's Name()).
+	Name string
+	// Events is the time-ordered event stream.
+	Events []Event
+}
+
+// Track layout inside a process: tid 0 is the load generator, tid 1
+// the dispatcher, and core c maps to tid c+2, so Perfetto's default
+// tid ordering shows loadgen, dispatcher, then cores in index order.
+const (
+	tidLoadgen    = 0
+	tidDispatcher = 1
+	tidCoreBase   = 2
+)
+
+func coreTid(core int32) int {
+	switch core {
+	case CoreLoadgen:
+		return tidLoadgen
+	case CoreDispatcher:
+		return tidDispatcher
+	default:
+		return int(core) + tidCoreBase
+	}
+}
+
+func tidCore(tid int) int32 {
+	switch tid {
+	case tidLoadgen:
+		return CoreLoadgen
+	case tidDispatcher:
+		return CoreDispatcher
+	default:
+		return int32(tid - tidCoreBase)
+	}
+}
+
+// chromeEvent is one record of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Field order here is the on-disk field order — it is part of the
+// golden-file contract, so do not reorder.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"` // µs, fractional for sub-µs precision
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	S    string      `json:"s,omitempty"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+// chromeArgs carries the event payload so the export is lossless:
+// ReadChrome reconstructs Event exactly from cat + ts + args.
+type chromeArgs struct {
+	Task  uint64 `json:"task"`
+	Class int16  `json:"class"`
+	Core  int32  `json:"core"`
+}
+
+type chromeName struct {
+	Name string `json:"name"`
+}
+
+type chromeSort struct {
+	SortIndex int `json:"sort_index"`
+}
+
+// trackName labels a tid for the metadata events.
+func trackName(tid int) string {
+	switch tid {
+	case tidLoadgen:
+		return "loadgen"
+	case tidDispatcher:
+		return "dispatcher"
+	default:
+		return fmt.Sprintf("core %d", tid-tidCoreBase)
+	}
+}
+
+// WriteChrome renders the processes as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing. Each process becomes a pid
+// with named loadgen/dispatcher/core tracks; QuantumStart/QuantumEnd
+// become matched B/E duration slices on the executing core's track and
+// every other kind becomes a thread-scoped instant. The mapping is
+// one-to-one and in input order, so ReadChrome recovers the exact
+// event streams. Events must be time-ordered per track (emission order
+// from any recorder in this package satisfies this).
+func WriteChrome(w io.Writer, procs ...Process) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\": [\n"); err != nil {
+		return err
+	}
+	first := true
+	put := func(ce chromeEvent) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		if _, err := io.WriteString(w, sep); err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	}
+	for pi := range procs {
+		p := &procs[pi]
+		pid := pi + 1
+		if err := put(chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Args: chromeName{p.Name}}); err != nil {
+			return err
+		}
+		if err := put(chromeEvent{Name: "process_sort_index", Ph: "M", Pid: pid, Args: chromeSort{pi}}); err != nil {
+			return err
+		}
+		for _, tid := range trackTids(p.Events) {
+			if err := put(chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: chromeName{trackName(tid)}}); err != nil {
+				return err
+			}
+		}
+		for _, e := range p.Events {
+			ce := chromeEvent{
+				Cat:  e.Kind.String(),
+				Ts:   float64(e.T) / 1000,
+				Pid:  pid,
+				Tid:  coreTid(e.Core),
+				Args: chromeArgs{Task: e.Task, Class: e.Class, Core: e.Core},
+			}
+			switch e.Kind {
+			case QuantumStart:
+				ce.Name = fmt.Sprintf("task %d (class %d)", e.Task, e.Class)
+				ce.Ph = "B"
+			case QuantumEnd:
+				ce.Name = fmt.Sprintf("task %d (class %d)", e.Task, e.Class)
+				ce.Ph = "E"
+			default:
+				ce.Name = fmt.Sprintf("%s task %d", e.Kind, e.Task)
+				ce.Ph = "i"
+				ce.S = "t"
+				if e.Kind == Dispatch {
+					// Dispatch renders on the dispatcher track; the
+					// chosen core rides in args.core.
+					ce.Tid = tidDispatcher
+				}
+			}
+			if err := put(ce); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// trackTids returns the sorted set of tids the events touch, always
+// including the loadgen and dispatcher tracks when any event exists.
+func trackTids(events []Event) []int {
+	if len(events) == 0 {
+		return nil
+	}
+	seen := map[int]bool{tidLoadgen: true, tidDispatcher: true}
+	for _, e := range events {
+		seen[coreTid(e.Core)] = true
+	}
+	tids := make([]int, 0, len(seen))
+	for t := range seen {
+		tids = append(tids, t)
+	}
+	sort.Ints(tids)
+	return tids
+}
+
+// ReadChrome parses a trace written by WriteChrome back into its
+// processes, with events exactly as recorded (timestamps recover the
+// original nanosecond values). It tolerates and ignores metadata and
+// events from other producers whose cat is not an obs kind.
+func ReadChrome(r io.Reader) ([]Process, error) {
+	var file struct {
+		TraceEvents []struct {
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Name string  `json:"name"`
+			Args struct {
+				Task  uint64 `json:"task"`
+				Class int16  `json:"class"`
+				Core  int32  `json:"core"`
+				Name  string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("obs: not a trace-event file: %w", err)
+	}
+	byPid := map[int]*Process{}
+	var pids []int
+	proc := func(pid int) *Process {
+		p := byPid[pid]
+		if p == nil {
+			p = &Process{}
+			byPid[pid] = p
+			pids = append(pids, pid)
+		}
+		return p
+	}
+	for _, ce := range file.TraceEvents {
+		if ce.Ph == "M" {
+			if ce.Name == "process_name" {
+				proc(ce.Pid).Name = ce.Args.Name
+			}
+			continue
+		}
+		kind, ok := KindFromString(ce.Cat)
+		if !ok {
+			continue
+		}
+		proc(ce.Pid).Events = append(proc(ce.Pid).Events, Event{
+			T:     int64(math.Round(ce.Ts * 1000)),
+			Task:  ce.Args.Task,
+			Core:  ce.Args.Core,
+			Class: ce.Args.Class,
+			Kind:  kind,
+		})
+	}
+	sort.Ints(pids)
+	out := make([]Process, 0, len(pids))
+	for _, pid := range pids {
+		out = append(out, *byPid[pid])
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenProcs is a small fixed comparison trace: two schedulers, two
+// cores each, exercising every event kind.
+func goldenProcs() []Process {
+	tq := append(lifecycle(1, 0, 0), lifecycle(2, 1, 5)...)
+	tq = append(tq,
+		Event{T: 90, Task: 3, Core: CoreLoadgen, Kind: Arrive},
+		Event{T: 91, Task: 3, Core: CoreDispatcher, Kind: Drop})
+	SortByTime(tq)
+	sj := []Event{
+		{T: 0, Task: 1, Core: CoreLoadgen, Kind: Arrive},
+		{T: 10, Task: 1, Core: 0, Kind: Dispatch},
+		{T: 12, Task: 1, Core: 0, Kind: QuantumStart},
+		{T: 30, Task: 1, Core: 0, Kind: QuantumEnd},
+		{T: 30, Task: 1, Core: 0, Kind: Preempt},
+		{T: 35, Task: 1, Core: 1, Kind: Dispatch},
+		{T: 37, Task: 1, Core: 1, Kind: QuantumStart},
+		{T: 45, Task: 1, Core: 1, Kind: QuantumEnd},
+		{T: 45, Task: 1, Core: 1, Kind: Finish},
+	}
+	return []Process{{Name: "TQ", Events: tq}, {Name: "Shinjuku", Events: sj}}
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenProcs()...); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden file (field order and layout are a contract; run with -update if intentional)\ngot:\n%s", buf.Bytes())
+	}
+}
+
+// TestChromeExportWellFormed checks the structural contract the golden
+// file freezes: valid JSON, monotonic timestamps per track, and
+// matched B/E pairs per track.
+func TestChromeExportWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenProcs()...); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Name string  `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	type track struct{ pid, tid int }
+	lastTs := map[track]float64{}
+	depth := map[track]int{}
+	for i, e := range file.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		k := track{e.Pid, e.Tid}
+		if e.Ts < lastTs[k] {
+			t.Fatalf("event %d: timestamp %.3f before %.3f on pid=%d tid=%d", i, e.Ts, lastTs[k], e.Pid, e.Tid)
+		}
+		lastTs[k] = e.Ts
+		switch e.Ph {
+		case "B":
+			depth[k]++
+		case "E":
+			depth[k]--
+			if depth[k] < 0 {
+				t.Fatalf("event %d: E without B on pid=%d tid=%d", i, e.Pid, e.Tid)
+			}
+		case "i":
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, e.Ph)
+		}
+	}
+	for k, d := range depth {
+		if d != 0 {
+			t.Fatalf("unmatched B/E pairs on pid=%d tid=%d: depth %d", k.pid, k.tid, d)
+		}
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	procs := goldenProcs()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, procs...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(procs) {
+		t.Fatalf("round trip returned %d processes, want %d", len(got), len(procs))
+	}
+	for i := range procs {
+		if got[i].Name != procs[i].Name {
+			t.Fatalf("process %d name %q, want %q", i, got[i].Name, procs[i].Name)
+		}
+		if !reflect.DeepEqual(got[i].Events, procs[i].Events) {
+			t.Fatalf("process %q events did not round-trip:\ngot  %+v\nwant %+v",
+				procs[i].Name, got[i].Events, procs[i].Events)
+		}
+	}
+}
+
+func TestReadChromeRejectsGarbage(t *testing.T) {
+	if _, err := ReadChrome(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

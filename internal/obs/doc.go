@@ -1,0 +1,40 @@
+// Package obs is the unified observability layer for every scheduler
+// in this repository: the discrete-event machine models in
+// internal/cluster, the live goroutine runtime in internal/tqrt, and
+// the UDP load generator in internal/netsim all emit the same
+// structured scheduling events through the recorders defined here, so
+// one timeline viewer and one metrics pipeline explain them all.
+//
+// The paper's evaluation hinges on seeing microsecond-scale scheduling
+// decisions — quantum boundaries, dispatcher handoffs, probe-driven
+// yields — not just end-of-run aggregates. This package makes those
+// decisions inspectable:
+//
+//   - Event / Kind: a fixed vocabulary of per-task lifecycle events
+//     (Arrive, Dispatch, QuantumStart, QuantumEnd, ProbeYield,
+//     Preempt, Finish, Drop) with nanosecond timestamps and a core
+//     identity (worker index, or the Dispatcher/Loadgen pseudo-cores).
+//     Every machine model emits exactly this vocabulary, so policy
+//     differences are directly comparable on one timeline.
+//   - Ring: a zero-allocation bounded recorder for single-writer hot
+//     paths (the simulator); Locked and Sharded extend it to the
+//     multi-goroutine live runtime.
+//   - WriteChrome / ReadChrome: lossless export to Chrome trace-event
+//     JSON — loadable in Perfetto (https://ui.perfetto.dev) or
+//     chrome://tracing — with one track per core plus dispatcher and
+//     loadgen tracks, and a parser that round-trips the events back
+//     for tooling (cmd/tqtrace summarize / diff).
+//   - Summarize / Windows: aggregate and sliding-window time-series
+//     metrics (per-core utilization, occupancy, preemption rate,
+//     p50/p99 sojourn via stats.LatencyHist) computed from an event
+//     stream.
+//   - Validate / Conserved: the machine-model invariants — per-task
+//     lifecycle ordering, matched quantum start/end pairs per core,
+//     and event conservation (every dispatched task reaches exactly
+//     one terminal Finish or Drop) — used as test oracles across all
+//     machine models and the live runtime.
+//
+// Recording is strictly opt-in and free when off: emit sites guard on
+// a nil recorder, and the guard benchmark in internal/cluster holds
+// tracing-off runs to the pre-observability baseline.
+package obs

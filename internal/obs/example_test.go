@@ -1,0 +1,39 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Record a two-quantum task by hand, validate the timeline, and export
+// it as Perfetto-loadable Chrome trace JSON. Machine models do exactly
+// this through cluster.RunConfig.Obs.
+func Example() {
+	r := obs.NewRing(64)
+	emit := func(t int64, k obs.Kind, core int32) {
+		r.Emit(obs.Event{T: t, Task: 1, Core: core, Kind: k})
+	}
+	emit(0, obs.Arrive, obs.CoreLoadgen)
+	emit(70, obs.Dispatch, 0)
+	emit(110, obs.QuantumStart, 0)
+	emit(2110, obs.QuantumEnd, 0)
+	emit(2110, obs.ProbeYield, 0)
+	emit(2140, obs.QuantumStart, 0)
+	emit(3140, obs.QuantumEnd, 0)
+	emit(3140, obs.Finish, 0)
+
+	if err := obs.Validate(r.Events()); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	s := obs.Summarize("TQ", r.Events())
+	fmt.Printf("tasks=%d finished=%d preemptions=%d busy=%dns\n",
+		s.Tasks, s.Finished, s.Preemptions, s.CoreBusy[0])
+
+	// obs.WriteChrome(w, obs.Process{Name: "TQ", Events: r.Events()})
+	// would write the Perfetto-loadable JSON; elided here for brevity.
+
+	// Output:
+	// tasks=1 finished=1 preemptions=1 busy=3000ns
+}

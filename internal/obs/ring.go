@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Ring is the zero-allocation bounded recorder: storage is one slice
+// allocated at construction (or lazily, once, for the zero value) and
+// Emit never allocates afterwards. When the capacity is exhausted
+// further events are discarded and counted, so — exactly like
+// trace.Recorder — a capped recording is a strict prefix of the run's
+// timeline: every recorded event is real, no recorded transition is
+// fabricated, and Truncated tells a complete timeline from a prefix.
+//
+// Ring is single-writer: the simulator's event loop, or one worker
+// goroutine of the live runtime. Wrap it in Locked for concurrent
+// writers, or use Sharded for one ring per writer.
+type Ring struct {
+	events    []Event
+	discarded int
+}
+
+// DefaultCap is the capacity a zero-value Ring allocates on first
+// Emit: 1<<20 events (≈24MB), enough for tens of simulated
+// milliseconds of a 16-core machine.
+const DefaultCap = 1 << 20
+
+// NewRing returns a recorder holding at most capacity events
+// (capacity <= 0 means DefaultCap). The one allocation happens here.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Ring{events: make([]Event, 0, capacity)}
+}
+
+// Emit records e, or counts it as discarded once the ring is full.
+func (r *Ring) Emit(e Event) {
+	if cap(r.events) == 0 {
+		r.events = make([]Event, 0, DefaultCap)
+	}
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, e)
+		return
+	}
+	r.discarded++
+}
+
+// Events returns the recorded events in emission order. The slice is
+// owned by the ring and must not be modified.
+func (r *Ring) Events() []Event { return r.events }
+
+// Len reports the number of recorded events.
+func (r *Ring) Len() int { return len(r.events) }
+
+// Truncated reports whether the cap discarded any events — the
+// recording is then a strict prefix of the timeline, not all of it.
+func (r *Ring) Truncated() bool { return r.discarded > 0 }
+
+// Discarded returns how many events the cap discarded.
+func (r *Ring) Discarded() int { return r.discarded }
+
+// Reset discards all recorded events but keeps the storage, so a ring
+// can be reused across runs without reallocating.
+func (r *Ring) Reset() {
+	r.events = r.events[:0]
+	r.discarded = 0
+}
+
+var _ Recorder = (*Ring)(nil)
+
+// Locked wraps a Ring with a mutex for multi-goroutine writers (the
+// live load generator, TrySubmit drop paths). The zero value is ready
+// to use with DefaultCap.
+type Locked struct {
+	mu   sync.Mutex
+	ring Ring
+}
+
+// NewLocked returns a concurrent recorder with the given capacity
+// (<= 0 means DefaultCap).
+func NewLocked(capacity int) *Locked {
+	return &Locked{ring: *NewRing(capacity)}
+}
+
+// Emit records e under the lock.
+func (l *Locked) Emit(e Event) {
+	l.mu.Lock()
+	l.ring.Emit(e)
+	l.mu.Unlock()
+}
+
+// Events returns a snapshot copy of the recorded events.
+func (l *Locked) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.ring.events))
+	copy(out, l.ring.events)
+	return out
+}
+
+// Truncated reports whether any events were discarded.
+func (l *Locked) Truncated() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ring.Truncated()
+}
+
+var _ Recorder = (*Locked)(nil)
+
+// Sharded is a set of single-writer rings — one per emitting goroutine
+// — merged into a single time-ordered stream at read time. The live
+// runtime gives each worker its own shard so recording stays
+// allocation- and contention-free on the scheduling path.
+type Sharded struct {
+	shards []*Ring
+}
+
+// NewSharded returns n shards of the given per-shard capacity
+// (<= 0 means DefaultCap per shard).
+func NewSharded(n, capacity int) *Sharded {
+	if n <= 0 {
+		panic("obs: Sharded needs at least one shard")
+	}
+	s := &Sharded{shards: make([]*Ring, n)}
+	for i := range s.shards {
+		s.shards[i] = NewRing(capacity)
+	}
+	return s
+}
+
+// Shard returns shard i's ring. Each shard must have at most one
+// writing goroutine at a time.
+func (s *Sharded) Shard(i int) *Ring { return s.shards[i] }
+
+// Shards reports the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Truncated reports whether any shard discarded events.
+func (s *Sharded) Truncated() bool {
+	for _, r := range s.shards {
+		if r.Truncated() {
+			return true
+		}
+	}
+	return false
+}
+
+// Events merges all shards into one stream sorted by time (stable
+// across shards, preserving each shard's emission order). Call it only
+// after the writers have stopped.
+func (s *Sharded) Events() []Event {
+	var n int
+	for _, r := range s.shards {
+		n += r.Len()
+	}
+	out := make([]Event, 0, n)
+	for _, r := range s.shards {
+		out = append(out, r.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}

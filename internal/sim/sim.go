@@ -8,6 +8,8 @@
 // the same trajectory.
 package sim
 
+import "fmt"
+
 // Time is a virtual timestamp in nanoseconds since the start of the
 // simulation.
 type Time int64
@@ -38,6 +40,37 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // Micros converts t to fractional microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String renders t with an adaptive unit — plain ns below 1µs, then
+// fractional µs, ms, or s — so timestamps in reports and trace tours
+// read naturally at every scale ("740ns", "2.07µs", "1.5ms").
+func (t Time) String() string {
+	abs := t
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case abs < Millisecond:
+		return trimZeros(fmt.Sprintf("%.3f", t.Micros())) + "µs"
+	case abs < Second:
+		return trimZeros(fmt.Sprintf("%.3f", float64(t)/float64(Millisecond))) + "ms"
+	default:
+		return trimZeros(fmt.Sprintf("%.3f", t.Seconds())) + "s"
+	}
+}
+
+// trimZeros drops a fixed-point literal's trailing fractional zeros.
+func trimZeros(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
 
 // event is a scheduled callback. seq breaks ties so that events at the
 // same instant run in the order they were scheduled.

@@ -273,3 +273,24 @@ func BenchmarkEngineChurn(b *testing.B) {
 		count++
 	}
 }
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0ns"},
+		{740, "740ns"},
+		{-30, "-30ns"},
+		{Microsecond, "1µs"},
+		{2070, "2.07µs"},
+		{1500 * Microsecond, "1.5ms"},
+		{Second, "1s"},
+		{2*Second + 500*Millisecond, "2.5s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}

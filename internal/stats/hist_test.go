@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLatencyHistExactBelow64(t *testing.T) {
+	var h LatencyHist
+	for v := int64(0); v < 64; v++ {
+		h.Add(v)
+	}
+	if h.Count() != 64 {
+		t.Fatalf("count %d, want 64", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 63 {
+		t.Fatalf("min/max %d/%d, want 0/63", h.Min(), h.Max())
+	}
+	// Every value below 64 has its own bucket, so quantiles are exact.
+	if got := h.Quantile(0.5); got != 32 {
+		t.Fatalf("median %d, want 32", got)
+	}
+	if got := h.Quantile(0.25); got != 16 {
+		t.Fatalf("q25 %d, want 16", got)
+	}
+}
+
+func TestLatencyHistQuantileError(t *testing.T) {
+	// Against an exact sorted sample, every quantile must be within one
+	// sub-bucket (≈3.2% relative) and never above the true value.
+	r := rand.New(rand.NewSource(7))
+	var h LatencyHist
+	var vals []int64
+	for i := 0; i < 20000; i++ {
+		v := int64(r.ExpFloat64() * 50000) // ~exponential, mean 50µs
+		vals = append(vals, v)
+		h.Add(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := h.Quantile(q)
+		if got > exact {
+			t.Errorf("q%.3f: hist %d above exact %d", q, got, exact)
+		}
+		if exact > 64 && float64(got) < float64(exact)*(1-2.0/histSub) {
+			t.Errorf("q%.3f: hist %d too far below exact %d", q, got, exact)
+		}
+	}
+}
+
+func TestLatencyHistEdgeCases(t *testing.T) {
+	var h LatencyHist
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Add(-5) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative add: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	// A single large value: all quantiles collapse to it (clamped to max).
+	h.Add(1 << 40)
+	if h.Quantile(0.5) != 1<<40 || h.P99() != 1<<40 {
+		t.Fatalf("single-value quantiles %d/%d, want %d", h.Quantile(0.5), h.P99(), int64(1)<<40)
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b, all LatencyHist
+	for i := int64(0); i < 1000; i++ {
+		v := i * 37 % 100000
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merge mismatch: n=%d/%d min=%d/%d max=%d/%d",
+			a.Count(), all.Count(), a.Min(), all.Min(), a.Max(), all.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.2f: merged %d != direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.Mean() != all.Mean() {
+		t.Fatalf("merged mean %v != direct %v", a.Mean(), all.Mean())
+	}
+}

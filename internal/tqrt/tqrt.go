@@ -21,12 +21,14 @@ package tqrt
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -78,6 +80,13 @@ type Config struct {
 	PinWorkers bool
 	// Seed drives randomized policies.
 	Seed uint64
+	// TraceCap, when positive, records the runtime's scheduling timeline
+	// in the unified obs vocabulary: each writer (submitters, the
+	// dispatcher, every worker) gets its own ring of this capacity, so
+	// recording adds no cross-core synchronization to the hot path.
+	// Read the merged timeline with TraceEvents or WriteTrace after the
+	// runtime quiesces. Zero disables tracing entirely.
+	TraceCap int
 }
 
 func (c *Config) fill() {
@@ -148,19 +157,28 @@ type event struct {
 	slot int
 }
 
+// taskMsg carries a task plus its trace identity (0 when tracing is
+// off) from submitters through the dispatcher to a worker.
+type taskMsg struct {
+	t  Task
+	id uint64
+}
+
 // coro is one pre-spawned task coroutine on a worker.
 type coro struct {
 	y      *Yield
 	tasks  chan Task
-	quanta int64 // quanta serviced for the current task (MSQ bookkeeping)
+	quanta int64  // quanta serviced for the current task (MSQ bookkeeping)
+	id     uint64 // trace identity of the current task
 }
 
 // worker is one scheduler goroutine plus its coroutine pool.
 type worker struct {
 	id     int
 	rt     *Runtime
-	inbox  chan Task // dispatch queue, fed by the dispatcher
+	inbox  chan taskMsg // dispatch queue, fed by the dispatcher
 	events chan event
+	rec    *obs.Ring // this worker's trace shard; nil when tracing is off
 	coros  []*coro
 	idle   []int // indices of idle coroutines
 	run    core.FIFO[int]
@@ -177,13 +195,21 @@ type worker struct {
 type Runtime struct {
 	cfg     Config
 	workers []*worker
-	inbox   chan Task
+	inbox   chan taskMsg
 	stopped atomic.Bool
 	// inflight counts submitted-but-unfinished tasks for Stop.
 	inflight sync.WaitGroup
 	wg       sync.WaitGroup
 	// assigned is written by the dispatcher, read by diagnostics.
 	assigned []atomic.Uint64
+
+	// Tracing state, nil/zero when Config.TraceCap is 0. taskSeq hands
+	// out trace identities at submission; client records arrivals and
+	// drops (submitters are concurrent, hence the locked recorder);
+	// disp records the dispatcher's binding decisions.
+	taskSeq atomic.Uint64
+	client  *obs.Locked
+	disp    *obs.Ring
 }
 
 // New returns an unstarted runtime.
@@ -191,16 +217,23 @@ func New(cfg Config) *Runtime {
 	cfg.fill()
 	rt := &Runtime{
 		cfg:      cfg,
-		inbox:    make(chan Task, cfg.QueueCap),
+		inbox:    make(chan taskMsg, cfg.QueueCap),
 		assigned: make([]atomic.Uint64, cfg.Workers),
+	}
+	if cfg.TraceCap > 0 {
+		rt.client = obs.NewLocked(cfg.TraceCap)
+		rt.disp = obs.NewRing(cfg.TraceCap)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			id:     i,
 			rt:     rt,
-			inbox:  make(chan Task, cfg.QueueCap),
+			inbox:  make(chan taskMsg, cfg.QueueCap),
 			events: make(chan event),
 			useLAS: cfg.LAS,
+		}
+		if cfg.TraceCap > 0 {
+			w.rec = obs.NewRing(cfg.TraceCap)
 		}
 		for s := 0; s < cfg.Coroutines; s++ {
 			c := &coro{
@@ -234,6 +267,17 @@ func (rt *Runtime) Start() {
 	go rt.dispatch()
 }
 
+// submitMsg stamps a task with its trace identity and records the
+// arrival (the client-side instant, before any queueing).
+func (rt *Runtime) submitMsg(t Task) taskMsg {
+	m := taskMsg{t: t}
+	if rt.client != nil {
+		m.id = rt.taskSeq.Add(1)
+		rt.client.Emit(obs.Event{T: nanotime(), Task: m.id, Core: obs.CoreLoadgen, Kind: obs.Arrive})
+	}
+	return m
+}
+
 // Submit hands a task to the dispatcher, blocking if its inbox is
 // full. It returns ErrStopped after Stop.
 func (rt *Runtime) Submit(t Task) error {
@@ -241,22 +285,27 @@ func (rt *Runtime) Submit(t Task) error {
 		return ErrStopped
 	}
 	rt.inflight.Add(1)
-	rt.inbox <- t
+	rt.inbox <- rt.submitMsg(t)
 	return nil
 }
 
 // TrySubmit is like Submit but fails fast when the dispatcher inbox is
-// full.
+// full. A rejected task appears in the trace as arrive followed by
+// drop — the live analogue of the simulators' RX-ring overflow.
 func (rt *Runtime) TrySubmit(t Task) error {
 	if rt.stopped.Load() {
 		return ErrStopped
 	}
 	rt.inflight.Add(1)
+	m := rt.submitMsg(t)
 	select {
-	case rt.inbox <- t:
+	case rt.inbox <- m:
 		return nil
 	default:
 		rt.inflight.Done()
+		if rt.client != nil {
+			rt.client.Emit(obs.Event{T: nanotime(), Task: m.id, Core: obs.CoreDispatcher, Kind: obs.Drop})
+		}
 		return fmt.Errorf("tqrt: dispatcher inbox full")
 	}
 }
@@ -273,6 +322,51 @@ func (rt *Runtime) Stop() {
 	rt.inflight.Wait()
 	close(rt.inbox)
 	rt.wg.Wait()
+}
+
+// TraceEvents merges the per-writer trace shards into one timeline,
+// stably ordered by timestamp (ties keep submitter-before-dispatcher-
+// before-worker order). It returns nil when tracing is off. Call it
+// only after the runtime quiesces — after Stop, or after Wait with no
+// concurrent submitters — since shards are read without locks.
+func (rt *Runtime) TraceEvents() []obs.Event {
+	if rt.client == nil {
+		return nil
+	}
+	events := rt.client.Events()
+	events = append(events, rt.disp.Events()...)
+	for _, w := range rt.workers {
+		events = append(events, w.rec.Events()...)
+	}
+	obs.SortByTime(events)
+	return events
+}
+
+// TraceTruncated reports whether any trace shard ran out of capacity
+// and discarded events. Each shard keeps a prefix of its own stream,
+// so a truncated timeline still validates but undercounts late
+// activity; raise Config.TraceCap to capture everything.
+func (rt *Runtime) TraceTruncated() bool {
+	if rt.client == nil {
+		return false
+	}
+	if rt.client.Truncated() || rt.disp.Truncated() {
+		return true
+	}
+	for _, w := range rt.workers {
+		if w.rec.Truncated() {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteTrace writes the merged timeline as Chrome trace-event JSON
+// under the given track name — loadable in Perfetto alongside
+// simulator traces, since both speak the same vocabulary. Like
+// TraceEvents, call it only after the runtime quiesces.
+func (rt *Runtime) WriteTrace(w io.Writer, name string) error {
+	return obs.WriteChrome(w, obs.Process{Name: name, Events: rt.TraceEvents()})
 }
 
 // QueueLens returns the dispatcher's current view of per-worker
@@ -353,10 +447,13 @@ func (rt *Runtime) dispatch() {
 		panic("tqrt: unknown balance policy")
 	}
 	view := liveView{rt}
-	for t := range rt.inbox {
+	for m := range rt.inbox {
 		w := bal.Pick(view)
 		rt.assigned[w].Add(1)
-		rt.workers[w].inbox <- t
+		if rt.disp != nil {
+			rt.disp.Emit(obs.Event{T: nanotime(), Task: m.id, Core: int32(w), Kind: obs.Dispatch})
+		}
+		rt.workers[w].inbox <- m
 	}
 	for _, w := range rt.workers {
 		close(w.inbox)
@@ -377,12 +474,12 @@ func (w *worker) loop(wg *sync.WaitGroup) {
 		// Admit while there are idle coroutines (non-blocking).
 		for open && len(w.idle) > 0 {
 			select {
-			case t, ok := <-w.inbox:
+			case m, ok := <-w.inbox:
 				if !ok {
 					open = false
 					break
 				}
-				w.admit(t)
+				w.admit(m)
 			default:
 				goto admitted
 			}
@@ -396,17 +493,20 @@ func (w *worker) loop(wg *sync.WaitGroup) {
 				return
 			}
 			// Nothing runnable: block for the next task.
-			t, ok := <-w.inbox
+			m, ok := <-w.inbox
 			if !ok {
 				open = false
 				continue
 			}
-			w.admit(t)
+			w.admit(m)
 			continue
 		}
 		slot, _ := w.popRunnable()
 		c := w.coros[slot]
 		c.y.start = nanotime()
+		if w.rec != nil {
+			w.rec.Emit(obs.Event{T: c.y.start, Task: c.id, Core: int32(w.id), Kind: obs.QuantumStart})
+		}
 		c.y.resume <- struct{}{}
 		ev := <-w.events
 		switch ev.kind {
@@ -414,6 +514,11 @@ func (w *worker) loop(wg *sync.WaitGroup) {
 			c.quanta++
 			w.quanta.Add(1)
 			w.pushRunnable(ev.slot)
+			if w.rec != nil {
+				now := nanotime()
+				w.rec.Emit(obs.Event{T: now, Task: c.id, Core: int32(w.id), Kind: obs.QuantumEnd})
+				w.rec.Emit(obs.Event{T: now, Task: c.id, Core: int32(w.id), Kind: obs.ProbeYield})
+			}
 		case evDone:
 			// The task is gone: remove its serviced quanta from the
 			// worker's current-task statistic.
@@ -421,15 +526,21 @@ func (w *worker) loop(wg *sync.WaitGroup) {
 			c.quanta = 0
 			w.finished.Add(1)
 			w.idle = append(w.idle, ev.slot)
+			if w.rec != nil {
+				now := nanotime()
+				w.rec.Emit(obs.Event{T: now, Task: c.id, Core: int32(w.id), Kind: obs.QuantumEnd})
+				w.rec.Emit(obs.Event{T: now, Task: c.id, Core: int32(w.id), Kind: obs.Finish})
+			}
 			w.rt.inflight.Done()
 		}
 	}
 }
 
-func (w *worker) admit(t Task) {
+func (w *worker) admit(m taskMsg) {
 	slot := w.idle[len(w.idle)-1]
 	w.idle = w.idle[:len(w.idle)-1]
-	w.coros[slot].tasks <- t
+	w.coros[slot].id = m.id
+	w.coros[slot].tasks <- m.t
 	w.pushRunnable(slot)
 }
 

@@ -1,0 +1,98 @@
+package tqrt
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTraceRecordsValidTimeline runs a traced workload and checks the
+// live runtime speaks the same timeline grammar as the simulators:
+// the merged shards validate, every task reaches a terminal event,
+// and the preemption vocabulary is TQ's (probe-yield, never preempt).
+func TestTraceRecordsValidTimeline(t *testing.T) {
+	rt := New(Config{Workers: 2, Coroutines: 4, Quantum: 50 * time.Microsecond, TraceCap: 1 << 16})
+	rt.Start()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := rt.Submit(func(y *Yield) { spin(y, 200*time.Microsecond, 20*time.Microsecond) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Stop()
+	if rt.TraceTruncated() {
+		t.Fatal("trace truncated; grow TraceCap")
+	}
+	events := rt.TraceEvents()
+	if err := obs.Validate(events); err != nil {
+		t.Fatalf("invalid timeline: %v", err)
+	}
+	if err := obs.Conserved(events); err != nil {
+		t.Fatalf("task lost: %v", err)
+	}
+	s := obs.Summarize("tqrt", events)
+	if s.Tasks != n || s.Finished != n {
+		t.Fatalf("tasks=%d finished=%d, want %d/%d", s.Tasks, s.Finished, n, n)
+	}
+	if s.Counts[obs.ProbeYield] == 0 {
+		t.Error("200µs tasks under a 50µs quantum never probe-yielded")
+	}
+	if s.Counts[obs.Preempt] != 0 {
+		t.Errorf("live TQ runtime recorded %d preempt events; its only mechanism is probe-yield", s.Counts[obs.Preempt])
+	}
+	if s.Cores != 2 {
+		t.Errorf("summary saw %d cores, want 2", s.Cores)
+	}
+}
+
+// TestTraceRoundTripsThroughChrome exports a live trace and reads it
+// back, checking the file format is lossless for runtime events too.
+func TestTraceRoundTripsThroughChrome(t *testing.T) {
+	rt := New(Config{Workers: 1, Coroutines: 2, Quantum: time.Millisecond, TraceCap: 1 << 12})
+	rt.Start()
+	for i := 0; i < 10; i++ {
+		if err := rt.Submit(func(y *Yield) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Stop()
+	var buf bytes.Buffer
+	if err := rt.WriteTrace(&buf, "tqrt-live"); err != nil {
+		t.Fatal(err)
+	}
+	procs, err := obs.ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 1 || procs[0].Name != "tqrt-live" {
+		t.Fatalf("round trip returned %+v, want one process named tqrt-live", procs)
+	}
+	want := rt.TraceEvents()
+	if len(procs[0].Events) != len(want) {
+		t.Fatalf("round trip kept %d events, want %d", len(procs[0].Events), len(want))
+	}
+	for i := range want {
+		if procs[0].Events[i] != want[i] {
+			t.Fatalf("event %d did not round-trip: got %+v want %+v", i, procs[0].Events[i], want[i])
+		}
+	}
+}
+
+// TestTracingOffRecordsNothing pins the off-switch: no recorder state,
+// nil timeline, and submissions carry no trace identity.
+func TestTracingOffRecordsNothing(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	rt.Start()
+	if err := rt.Submit(func(y *Yield) {}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Stop()
+	if ev := rt.TraceEvents(); ev != nil {
+		t.Fatalf("tracing off but TraceEvents returned %d events", len(ev))
+	}
+	if rt.TraceTruncated() {
+		t.Fatal("tracing off but TraceTruncated reports true")
+	}
+}

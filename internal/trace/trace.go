@@ -52,6 +52,14 @@ type Event struct {
 
 // Recorder accumulates events up to a cap (0 = 1<<20). The zero value
 // is ready to use.
+//
+// The cap has prefix semantics: once full, the recorder keeps what it
+// has and counts further events as discarded instead of overwriting
+// old ones. A truncated recording is therefore a strict prefix of the
+// run's timeline — every recorded transition really happened, in
+// order — which is what keeps Validate sound on capped recordings.
+// Check Truncated before treating a recording as the complete run;
+// Discarded says how much of the tail is missing.
 type Recorder struct {
 	Max       int
 	events    []Event
@@ -177,7 +185,8 @@ func (r *Recorder) Validate() error {
 			continue
 		}
 		if e.T < js.lastT {
-			return fmt.Errorf("event %d: job %d time went backwards (%d < %d)", i, e.Job, e.T, js.lastT)
+			return fmt.Errorf("event %d: job %d %v at %d is before its previous event at %d (time went backwards)",
+				i, e.Job, e.Kind, e.T, js.lastT)
 		}
 		switch e.Kind {
 		case Arrive:

@@ -1,31 +1,3 @@
-// Package verify statically proves — or refutes with a concrete
-// counterexample path — the bounded-probe-gap invariant that Tiny
-// Quanta's forced multitasking rests on (§3.1): after instrumentation,
-// every execution path runs a probe within a bounded number of weighted
-// instructions. Concretely, for a function f and a bound G, Check
-// establishes that
-//
-//   - every CFG cycle executes a probe (otherwise a loop could run
-//     forever between probes), with one exception: a probe-free
-//     self-loop whose block carries a pass-proven TripBound, which the
-//     self-loop-cloning optimization guarantees exits within its gate
-//     target; and
-//   - every entry→first-probe, probe→probe, and probe→exit path weighs
-//     at most G instructions (calls weigh ir.CallWeight, probes weigh
-//     nothing — the same weighting the passes bound paths with).
-//
-// Unlike the dynamic gap check in internal/instrument's tests, which
-// observes one interpreted run and can miss unexercised paths, this is
-// a whole-CFG longest-path analysis: a PASS covers every path, and a
-// refutation comes with the offending path pretty-printed via
-// ir.FormatPath.
-//
-// The analysis is a forward dataflow over the CFG: gapIn[b] is the
-// maximum weighted instruction count since the last probe (or entry) at
-// b's entry. Probes reset the running gap, so along every cycle the gap
-// is reset at least once (the structural check guarantees a probe on
-// every cycle), which makes the fixpoint converge. Bounded probe-free
-// self-loops contribute TripBound×weight once instead of iterating.
 package verify
 
 import (
@@ -50,6 +22,8 @@ const (
 	StatusGapExceeded
 )
 
+// String renders the verdict as it appears in reports: "PROVED", or a
+// "REFUTED (...)" line naming the failure mode.
 func (s Status) String() string {
 	switch s {
 	case StatusProved:
