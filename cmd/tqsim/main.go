@@ -41,7 +41,16 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Perfetto-loadable TQ-vs-Shinjuku comparison timeline to this file and exit")
 	metricsOut := flag.String("metrics", "", "write a windowed scheduling time series (TSV) of a short TQ run to this file and exit")
 	slo := flag.String("slo", "", `per-class sojourn SLOs for goodput, e.g. "GET=50us,SCAN=1ms" or a bare "100us" for all classes`)
+	machines := flag.String("machines", "", `comma-separated registry machines to sweep side by side, e.g. "tq,shinjuku,caladan-ws,ct-ps"; "list" prints the catalogue`)
+	workloadName := flag.String("workload", "HighBimodal", "workload for -machines (names as in -fig table1)")
 	flag.Parse()
+	if *machines == "list" {
+		for _, n := range cluster.Names() {
+			e, _ := cluster.Lookup(n)
+			fmt.Printf("%-20s %s\n", n, e.Summary)
+		}
+		return
+	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "tqsim:", err)
@@ -59,7 +68,7 @@ func main() {
 		fmt.Printf("wrote windowed scheduling metrics to %s\n", *metricsOut)
 		return
 	}
-	if *fig == "" {
+	if *fig == "" && *machines == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -84,6 +93,14 @@ func main() {
 				p.Done, p.Total, p.Result.System, p.Rate/1e6,
 				p.Wall.Round(time.Millisecond), p.EventsPerSec()/1e6)
 		}
+	}
+
+	if *machines != "" {
+		if err := runMachines(sc, *machines, *workloadName); err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	figs := []string{*fig}
@@ -166,6 +183,45 @@ func run(fig string, sc experiments.Scale) {
 		fmt.Fprintf(os.Stderr, "tqsim: unknown figure %q\n", fig)
 		os.Exit(2)
 	}
+}
+
+// runMachines sweeps the named registry machines side by side over one
+// workload — any registered machine, default parameters, selected by
+// name (the registry is the front door; see cluster.Names).
+func runMachines(sc experiments.Scale, list, workloadName string) error {
+	w, err := findWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, n := range strings.Split(list, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, ok := cluster.Lookup(n); !ok {
+			return fmt.Errorf("unknown machine %q (run -machines list for the catalogue)", n)
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("empty -machines value")
+	}
+	header(fmt.Sprintf("Machine comparison on %s: p99.9 end-to-end(µs) vs rate(rps)", w.Name))
+	printComparison(experiments.CompareMachines(sc, w, nil, names...))
+	return nil
+}
+
+// findWorkload resolves a workload by its Table 1 name.
+func findWorkload(name string) (*workload.Workload, error) {
+	var known []string
+	for _, w := range workload.All() {
+		if strings.EqualFold(w.Name, name) {
+			return w, nil
+		}
+		known = append(known, w.Name)
+	}
+	return nil, fmt.Errorf("unknown workload %q (known: %s)", name, strings.Join(known, ", "))
 }
 
 // traceConfig is the canned short run behind -trace and -metrics: the

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -54,21 +55,22 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  tqtrace export [-o file] [-seed n] [-workers n] [-duration d] [-load f]
+  tqtrace export [-o file] [-seed n] [-workers n] [-duration d] [-load f] [-machines a,b]
   tqtrace summarize file.json [-window d]
   tqtrace diff a.json b.json`)
 }
 
-// export runs the canned comparison — TQ and Shinjuku on the Extreme
-// Bimodal workload at identical arrivals — and writes the multi-process
-// Chrome trace.
+// export runs a comparison at identical arrivals — by default TQ and
+// Shinjuku on the Extreme Bimodal workload, or any set of registered
+// machines via -machines — and writes the multi-process Chrome trace.
 func export(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	out := fs.String("o", "trace.json", "output file")
-	seed := fs.Uint64("seed", 1, "random seed (shared by both machines)")
-	workers := fs.Int("workers", 2, "worker cores per machine")
+	seed := fs.Uint64("seed", 1, "random seed (shared by all machines)")
+	workers := fs.Int("workers", 2, "worker cores per machine (canned TQ-vs-Shinjuku pair only)")
 	duration := fs.Duration("duration", 2*time.Millisecond, "simulated duration")
 	load := fs.Float64("load", 0.6, "offered load as a fraction of capacity")
+	machines := fs.String("machines", "", `comma-separated registry machines at default parameters (e.g. "tq,d-fcfs"); empty runs the canned 2-worker TQ-vs-Shinjuku pair`)
 	fs.Parse(args)
 
 	w := workload.ExtremeBimodal()
@@ -79,11 +81,26 @@ func export(args []string) error {
 		Warmup:   0,
 		Seed:     *seed,
 	}
-	tq := cluster.NewTQParams()
-	tq.Workers = *workers
-	sj := cluster.NewShinjukuParams(5 * sim.Microsecond)
-	sj.Workers = *workers
-	procs, err := cluster.TraceComparison(cfg, 0, cluster.NewTQ(tq), cluster.NewShinjuku(sj))
+	var procs []obs.Process
+	var err error
+	if *machines != "" {
+		var names []string
+		for _, n := range strings.Split(*machines, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		// Registry machines keep their default worker counts; scale the
+		// offered load to the catalogue's 16-worker configurations.
+		cfg.Rate = *load * w.MaxLoad(16)
+		procs, err = cluster.TraceComparisonNamed(cfg, 0, names...)
+	} else {
+		tq := cluster.NewTQParams()
+		tq.Workers = *workers
+		sj := cluster.NewShinjukuParams(5 * sim.Microsecond)
+		sj.Workers = *workers
+		procs, err = cluster.TraceComparison(cfg, 0, cluster.NewTQ(tq), cluster.NewShinjuku(sj))
+	}
 	if err != nil {
 		return err
 	}

@@ -20,10 +20,12 @@ func main() {
 	fmt.Printf("workload: %s (mean service %.2fµs, dispersion %.0fx)\n\n",
 		w.Name, w.MeanService().Micros(), w.DispersionRatio())
 
-	systems := []cluster.Machine{
-		cluster.NewTQ(cluster.NewTQParams()),
-		cluster.NewShinjuku(cluster.NewShinjukuParams(sim.Micros(5))),
-		cluster.NewCaladan(cluster.NewCaladanParams(cluster.IOKernel)),
+	// Machines come from the registry: stable names, paper-default
+	// parameters (Shinjuku's catalogue default is its 5µs bimodal
+	// sweet spot). cluster.Names() lists the full catalogue.
+	var systems []cluster.Machine
+	for _, name := range []string{"tq", "shinjuku", "caladan-iokernel"} {
+		systems = append(systems, cluster.MustLookup(name).New())
 	}
 
 	fmt.Printf("%-22s %12s %16s %16s\n", "system", "rate(Mrps)", "Short p99.9(µs)", "Long p99.9(µs)")

@@ -87,32 +87,23 @@ type calWorker struct {
 }
 
 type calRun struct {
+	machineRun
+	basePolicy
 	m       *Caladan
-	eng     *sim.Engine
-	cfg     RunConfig
-	met     *metrics
-	adm     *admission
-	pool    jobPool
 	workers []calWorker
 	idle    []int // idle worker indices (spinning, ready to steal)
 	rss     core.RSS
 	rand    *rng.Rand
-	gen     *workload.Generator
 
 	iokBusyUntil sim.Time
 }
 
 // Run implements Machine.
 func (c *Caladan) Run(cfg RunConfig) *Result {
-	cfg.validate()
 	r := &calRun{
 		m:       c,
-		eng:     sim.New(),
-		cfg:     cfg,
-		met:     newMetrics(cfg),
 		workers: make([]calWorker, c.P.Workers),
 		rand:    rng.New(cfg.Seed ^ 0xca1ada),
-		gen:     workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
 	}
 	// Only the IOKernel is a bounded serial stage; directpath workers
 	// read the NIC directly, so their arrive path goes through an
@@ -121,61 +112,40 @@ func (c *Caladan) Run(cfg RunConfig) *Result {
 	if c.P.Mode == IOKernel {
 		limit = c.P.RXQueue
 	}
-	r.adm = r.met.admission(limit, 1)
 	for w := range r.workers {
 		r.idle = append(r.idle, w)
 	}
-	r.scheduleNextArrival()
-	r.eng.Run()
-	res := r.met.result(c.Name(), c.P.RTT)
-	res.Events = r.eng.Executed()
-	return res
+	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), limit, 1)
+	return r.run(c.Name(), c.P.RTT)
 }
 
-func (r *calRun) scheduleNextArrival() {
-	req := r.gen.Next()
-	if req.Arrival > r.cfg.Duration {
-		return
+// inflate implements machinePolicy: in directpath mode packet
+// processing happens on the worker, so it rides on the job's demand.
+func (r *calRun) inflate(s sim.Time) sim.Time {
+	if r.m.P.Mode == Directpath {
+		return s + r.m.P.DirectCost
 	}
-	r.eng.At(req.Arrival, func() {
-		r.scheduleNextArrival()
-		r.met.emit(req.Arrival, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
-		// The RX ring bounds the IOKernel's backlog in packets — the
-		// ring holds descriptors, not time — so the bound applies even
-		// when IOKCost is zero. Directpath admits everything.
-		if !r.adm.tryAdmit(0, req.Arrival) {
-			r.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
-			return
+	return s
+}
+
+// admit implements machinePolicy: RSS steers the packet; in IOKernel
+// mode the IOKernel is a serial server between NIC and workers, and
+// the packet holds its ring slot until the IOKernel forwards it.
+func (r *calRun) admit(lane int, j *job) {
+	w := r.rss.Steer(j.id, len(r.workers))
+	if r.m.P.Mode == IOKernel {
+		now := r.eng.Now()
+		if r.iokBusyUntil < now {
+			r.iokBusyUntil = now
 		}
-		j := r.pool.get()
-		j.id = req.ID
-		j.class = req.Class
-		j.arrival = req.Arrival
-		j.base = req.Service
-		j.service = req.Service
-		if r.m.P.Mode == Directpath {
-			// Packet processing happens on the worker.
-			j.service += r.m.P.DirectCost
-		}
-		j.remain = j.service
-		w := r.rss.Steer(req.ID, len(r.workers))
-		if r.m.P.Mode == IOKernel {
-			// The IOKernel is a serial server between NIC and workers;
-			// the packet holds its ring slot until the IOKernel
-			// forwards it.
-			now := r.eng.Now()
-			if r.iokBusyUntil < now {
-				r.iokBusyUntil = now
-			}
-			r.iokBusyUntil += r.m.P.IOKCost
-			r.eng.At(r.iokBusyUntil, func() {
-				r.adm.release(0)
-				r.deliver(w, j)
-			})
-		} else {
+		r.iokBusyUntil += r.m.P.IOKCost
+		r.eng.At(r.iokBusyUntil, func() {
+			r.adm.release(lane)
 			r.deliver(w, j)
-		}
-	})
+		})
+	} else {
+		r.deliver(w, j)
+	}
 }
 
 // deliver places a job on its RSS-steered worker's queue. If that

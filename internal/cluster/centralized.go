@@ -36,73 +36,39 @@ func NewCentralizedPS(workers int, quantum, overhead sim.Time) *CentralizedPS {
 func (c *CentralizedPS) Name() string { return "CT-PS" }
 
 type ctRun struct {
+	machineRun
+	basePolicy
 	m     *CentralizedPS
-	eng   *sim.Engine
-	cfg   RunConfig
-	met   *metrics
-	adm   *admission
-	pool  jobPool
 	queue core.FIFO[*job]
 	// free lists idle core indices. Worker identity is immaterial to the
 	// idealized model's results, but giving each core a stable index lets
 	// the machine share the per-core timeline vocabulary with the others.
 	free []int32
-	gen  *workload.Generator
 }
 
 // Run implements Machine.
 func (c *CentralizedPS) Run(cfg RunConfig) *Result {
-	cfg.validate()
-	r := &ctRun{
-		m:   c,
-		eng: sim.New(),
-		cfg: cfg,
-		met: newMetrics(cfg),
-		gen: workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
-	}
+	r := &ctRun{m: c}
 	for i := c.Workers - 1; i >= 0; i-- {
 		r.free = append(r.free, int32(i)) // pop from the end: core 0 first
 	}
 	// The idealized scheduler has no bounded RX stage (limit 0): the
 	// gate admits everything, but the arrive path still goes through it
 	// so Offered/Dropped accounting is uniform across machine models.
-	r.adm = r.met.admission(0, 1)
-	r.scheduleNextArrival()
-	r.eng.Run()
-	res := r.met.result(c.Name(), 0)
-	res.Events = r.eng.Executed()
-	return res
+	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), 0, 1)
+	return r.run(c.Name(), 0)
 }
 
-func (r *ctRun) scheduleNextArrival() {
-	req := r.gen.Next()
-	if req.Arrival > r.cfg.Duration {
-		return
+// admit implements machinePolicy: the free scheduler mounts the job on
+// an idle core immediately, or parks it in the global queue.
+func (r *ctRun) admit(_ int, j *job) {
+	if n := len(r.free); n > 0 {
+		core := r.free[n-1]
+		r.free = r.free[:n-1]
+		r.mount(j, core)
+	} else {
+		r.queue.Push(j)
 	}
-	r.eng.At(req.Arrival, func() {
-		r.scheduleNextArrival()
-		r.met.emit(req.Arrival, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
-		// The unbounded gate admits everything; the check keeps the
-		// accounting (and, were a limit ever set, the drop) uniform.
-		if !r.adm.tryAdmit(0, req.Arrival) {
-			r.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
-			return
-		}
-		j := r.pool.get()
-		j.id = req.ID
-		j.class = req.Class
-		j.arrival = req.Arrival
-		j.base = req.Service
-		j.service = req.Service
-		j.remain = req.Service
-		if n := len(r.free); n > 0 {
-			core := r.free[n-1]
-			r.free = r.free[:n-1]
-			r.mount(j, core)
-		} else {
-			r.queue.Push(j)
-		}
-	})
 }
 
 // mount puts j on an idle core: in timeline terms the free scheduler
@@ -159,35 +125,3 @@ func (r *ctRun) runQuantum(j *job, core int32) {
 }
 
 var _ Machine = (*CentralizedPS)(nil)
-
-// NewIdealTLS returns a TQ machine stripped of every overhead, used by
-// the Figure 4 policy simulation ("TLS"): JSQ dispatch with the given
-// balancer, unbounded coroutines, free yields. It isolates the policy
-// comparison (CT vs JSQ-PS with MSQ or random tie-breaking) from
-// mechanism costs, exactly as §3.2 does.
-func NewIdealTLS(workers int, quantum sim.Time, balancer BalancerKind) *TQ {
-	p := TQParams{
-		Workers:       workers,
-		Quantum:       quantum,
-		Coroutines:    1 << 20, // effectively unbounded: pure per-core PS
-		YieldOverhead: 0,
-		ProbeOverhead: 0,
-		DispatchCost:  0,
-		ParseCost:     0,
-		StatsPeriod:   100 * sim.Nanosecond,
-		RTT:           0,
-		Balancer:      balancer,
-	}
-	name := "TLS-JSQ-PS"
-	switch balancer {
-	case BalanceJSQMSQ:
-		name += "-MSQ"
-	case BalanceJSQRandom:
-		name += "-RAND-TIE"
-	case BalanceRandom:
-		name = "TLS-RAND-PS"
-	case BalancePowerTwo:
-		name = "TLS-P2C-PS"
-	}
-	return NewTQ(p).Named(name)
-}

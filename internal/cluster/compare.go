@@ -34,3 +34,18 @@ func TraceComparison(cfg RunConfig, cap int, machines ...Machine) ([]obs.Process
 	}
 	return procs, nil
 }
+
+// TraceComparisonNamed is TraceComparison over registry names: each
+// name is resolved through Lookup and run with its default parameters.
+// Unknown names error with the known catalogue.
+func TraceComparisonNamed(cfg RunConfig, cap int, names ...string) ([]obs.Process, error) {
+	var machines []Machine
+	for _, n := range names {
+		e, ok := Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown machine %q (known: %s)", n, joinNames())
+		}
+		machines = append(machines, e.New())
+	}
+	return TraceComparison(cfg, cap, machines...)
+}

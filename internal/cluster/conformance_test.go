@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The conformance suite is registration-driven: every machine that
+// enters the catalogue gets these checks for free, with no hand-written
+// per-machine test. It asserts, for each registered entry, the
+// invariants the kernel is supposed to guarantee by construction —
+// conservation, determinism, and a grammatical obs timeline.
+
+// conformanceConfigs exercises both regimes: a mid-load run where
+// every scheduling path fires, and an overload run where the bounded
+// RX rings shed load (the conservation law's interesting case).
+func conformanceConfigs() map[string]RunConfig {
+	hb := workload.HighBimodal()
+	return map[string]RunConfig{
+		"midload": {
+			Workload: hb,
+			Rate:     0.7 * hb.MaxLoad(16),
+			Duration: 10 * sim.Millisecond,
+			Warmup:   sim.Millisecond,
+			Seed:     7,
+		},
+		"overload": {
+			Workload: workload.Fixed("tiny", 100*sim.Nanosecond),
+			Rate:     30e6,
+			Duration: sim.Millisecond,
+			Warmup:   100 * sim.Microsecond,
+			Seed:     7,
+		},
+	}
+}
+
+// TestRegistryConformance checks the kernel invariants for every
+// registered machine, in both regimes:
+//
+//   - the conservation law Offered == Completed + Dropped;
+//   - run-twice determinism: a fresh machine on the same config
+//     reproduces every number bit for bit;
+//   - a Validate-clean, Conserved-clean obs timeline.
+func TestRegistryConformance(t *testing.T) {
+	for _, name := range Names() {
+		e := MustLookup(name)
+		for cfgName, cfg := range conformanceConfigs() {
+			t.Run(name+"/"+cfgName, func(t *testing.T) {
+				t.Parallel()
+				m := e.New()
+				if m.Name() == "" {
+					t.Fatal("machine has empty display name")
+				}
+				res := m.Run(cfg)
+				if res.Offered != res.Completed+res.Dropped {
+					t.Errorf("conservation violated: offered %d != completed %d + dropped %d",
+						res.Offered, res.Completed, res.Dropped)
+				}
+				again := summarize(e.New().Run(cfg))
+				if !reflect.DeepEqual(summarize(res), again) {
+					t.Errorf("run-twice mismatch: fresh machine produced different numbers\nfirst:  %+v\nsecond: %+v",
+						summarize(res), again)
+				}
+			})
+		}
+	}
+}
+
+// TestRegistryTimelines records every registered machine's obs
+// timeline on the mid-load config and checks it against the shared
+// event grammar — new machines cannot ship a vocabulary the tooling
+// can't parse.
+func TestRegistryTimelines(t *testing.T) {
+	cfg := conformanceConfigs()["midload"]
+	cfg.Duration = 2 * sim.Millisecond
+	cfg.Warmup = 200 * sim.Microsecond
+	for _, name := range Names() {
+		e := MustLookup(name)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rec := obs.NewRing(1 << 21)
+			c := cfg
+			c.Obs = rec
+			e.New().Run(c)
+			if rec.Truncated() {
+				t.Fatalf("recorder truncated (%d discarded); raise the test cap", rec.Discarded())
+			}
+			if rec.Len() == 0 {
+				t.Fatal("machine emitted no obs events")
+			}
+			if err := obs.Validate(rec.Events()); err != nil {
+				t.Errorf("timeline grammar: %v", err)
+			}
+			if err := obs.Conserved(rec.Events()); err != nil {
+				t.Errorf("timeline conservation: %v", err)
+			}
+		})
+	}
+}
+
+// TestRegistryNewQ checks that every quantum-parameterized constructor
+// builds a runnable machine.
+func TestRegistryNewQ(t *testing.T) {
+	cfg := conformanceConfigs()["midload"]
+	cfg.Duration = 2 * sim.Millisecond
+	cfg.Warmup = 200 * sim.Microsecond
+	for _, name := range Names() {
+		e := MustLookup(name)
+		if e.NewQ == nil {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := e.NewQ(sim.Micros(4)).Run(cfg)
+			if res.Offered == 0 {
+				t.Error("quantum-parameterized machine resolved no requests")
+			}
+		})
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// d-FCFS is the fully decentralized baseline of this literature: RSS
+// spreads requests across per-worker NIC queues and each worker runs
+// its own queue FCFS to completion — no central scheduler, no
+// preemption, no work stealing. It is the classic foil to c-FCFS and
+// PS: zero scheduling overhead, but head-of-line blocking behind long
+// requests and load imbalance that nothing corrects.
+//
+// The machine is also this package's template for expressing a new
+// system purely as kernel policies (see EXPERIMENTS.md "Adding a
+// machine"): the three machinePolicy methods below are the entire
+// arrival path, and the run loop is one worker callback.
+
+// DFCFSParams configures the d-FCFS baseline.
+type DFCFSParams struct {
+	// Workers is the number of worker cores (paper setups: 16).
+	Workers int
+	// ProcCost is per-request packet processing on the worker (RX
+	// descriptor handling, parse, TX) — the same work Caladan's
+	// directpath mode charges workers, since d-FCFS workers likewise
+	// read the NIC directly.
+	ProcCost sim.Time
+	// RXQueue bounds each worker's NIC queue, in requests; arrivals
+	// beyond it drop at that queue even while other workers sit idle —
+	// decentralization's failure mode under skew.
+	RXQueue int
+	// RTT is the simulated network round trip for end-to-end latency.
+	RTT sim.Time
+}
+
+// NewDFCFSParams returns defaults matching the other baselines'
+// calibration.
+func NewDFCFSParams() DFCFSParams {
+	return DFCFSParams{
+		Workers:  16,
+		ProcCost: 260 * sim.Nanosecond,
+		RXQueue:  256,
+		RTT:      sim.Micros(8),
+	}
+}
+
+// DFCFS is the decentralized-FCFS machine.
+type DFCFS struct{ P DFCFSParams }
+
+// NewDFCFS returns a d-FCFS machine.
+func NewDFCFS(p DFCFSParams) *DFCFS {
+	if p.Workers <= 0 {
+		panic("cluster: invalid d-FCFS parameters")
+	}
+	return &DFCFS{P: p}
+}
+
+// Name implements Machine.
+func (d *DFCFS) Name() string { return "d-FCFS" }
+
+type dfWorker struct {
+	queue core.FIFO[*job]
+	busy  bool
+}
+
+type dfRun struct {
+	machineRun
+	m       *DFCFS
+	workers []dfWorker
+	rss     core.RSS
+}
+
+// Run implements Machine.
+func (d *DFCFS) Run(cfg RunConfig) *Result {
+	r := &dfRun{m: d, workers: make([]dfWorker, d.P.Workers)}
+	// One RX lane per worker: each NIC queue is its own bounded ring.
+	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), d.P.RXQueue, d.P.Workers)
+	return r.run(d.Name(), d.P.RTT)
+}
+
+// admitLane implements machinePolicy: RSS hashes the request to its
+// worker's NIC queue. The lane is the worker — there is no later
+// steering decision to revisit it.
+func (r *dfRun) admitLane(req workload.Request) int {
+	return r.rss.Steer(req.ID, len(r.workers))
+}
+
+// inflate implements machinePolicy: packet processing happens on the
+// worker, as in Caladan's directpath mode.
+func (r *dfRun) inflate(s sim.Time) sim.Time { return s + r.m.P.ProcCost }
+
+// admit implements machinePolicy: the job runs immediately if its
+// worker is idle, else waits in the worker's FCFS queue. A queued
+// request keeps its RX-ring slot until the worker dequeues it, so
+// RXQueue bounds the true per-worker backlog.
+func (r *dfRun) admit(lane int, j *job) {
+	r.met.emit(r.eng.Now(), obs.Dispatch, j.id, j.class, int32(lane))
+	wk := &r.workers[lane]
+	if wk.busy {
+		wk.queue.Push(j)
+		return
+	}
+	wk.busy = true
+	r.adm.release(lane)
+	r.runJob(lane, j)
+}
+
+// runJob executes j to completion on worker w — FCFS, one quantum per
+// job — then takes the queue head or goes idle.
+func (r *dfRun) runJob(w int, j *job) {
+	r.met.emit(r.eng.Now(), obs.QuantumStart, j.id, j.class, int32(w))
+	r.eng.After(j.remain, func() {
+		now := r.eng.Now()
+		r.met.emit(now, obs.QuantumEnd, j.id, j.class, int32(w))
+		r.met.emit(now, obs.Finish, j.id, j.class, int32(w))
+		r.met.record(j, now)
+		r.pool.put(j)
+		wk := &r.workers[w]
+		if next, ok := wk.queue.Pop(); ok {
+			r.adm.release(w)
+			r.runJob(w, next)
+			return
+		}
+		wk.busy = false
+	})
+}
+
+var _ Machine = (*DFCFS)(nil)

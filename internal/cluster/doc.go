@@ -10,7 +10,9 @@
 //   - Caladan: FCFS run-to-completion with RSS steering and work
 //     stealing, in IOKernel or directpath mode;
 //   - CentralizedPS: the idealized zero-overhead centralized processor
-//     sharing used by the §2 motivation simulations (Figures 1, 2, 4).
+//     sharing used by the §2 motivation simulations (Figures 1, 2, 4);
+//   - DFCFS: the decentralized-FCFS baseline (per-worker NIC queues, no
+//     preemption, no stealing) — the classic foil to c-FCFS and PS.
 //
 // All models share an event-level abstraction: jobs carry service
 // demands, workers execute quanta serially, and every mechanism cost
@@ -19,6 +21,31 @@
 // constants in cluster.go, but the comparative shapes — who saturates
 // first and where latency knees appear — depend only on the modelled
 // mechanisms, which is what the reproduction targets.
+//
+// # Kernel and policies
+//
+// Every machine runs on the shared machine kernel (kernel.go): a
+// machineRun substrate owning the engine, workload generator, arrival
+// pump, RX-ring admission lanes, job pool, and metrics/obs emission,
+// with the Run → Result lifecycle written once. A machine is a run
+// struct embedding machineRun plus a small machinePolicy — where an
+// arriving request is steered (admitLane), how its demand is inflated
+// (inflate), and what the system does with an admitted job (admit) —
+// and its own engine callbacks for everything after admission. The
+// kernel makes the conservation law Offered == Completed + Dropped and
+// the shared arrival semantics structural rather than per-machine
+// conventions; dfcfs.go is the ~100-line template for adding a system.
+//
+// # Registry
+//
+// The named-machine registry (registry.go) is the catalogue's front
+// door: Register/Lookup/MustLookup/Names map stable names ("tq",
+// "shinjuku", "caladan-ws", "d-fcfs", ...) to paper-default
+// constructors, so sweep drivers, comparison tools, and command-line
+// flags (tqsim -machines, tqtrace export -machines) enumerate machines
+// without hard-coded constructor lists. Registration also enrolls a
+// machine in the conformance suite, which checks conservation,
+// run-twice determinism, and timeline grammar for every entry.
 //
 // Every model also speaks the unified observability vocabulary of
 // internal/obs: set RunConfig.Obs to record a per-quantum scheduling

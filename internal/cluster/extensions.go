@@ -2,8 +2,10 @@ package cluster
 
 import "repro/internal/sim"
 
-// This file implements the paper's discussion-section extensions and
-// related-work baselines, beyond the evaluated systems:
+// This file groups the variant constructors: the paper's
+// discussion-section extensions and related-work baselines, beyond the
+// evaluated systems, each expressed as a parameterization of one of the
+// kernel-ported machines:
 //
 //   - least-attained-service (LAS) quantum scheduling on TQ workers —
 //     the dynamic-quantum policy §3.1's probe design explicitly
@@ -13,7 +15,9 @@ import "repro/internal/sim"
 //   - Concord [32], the concurrent centralized system that replaces
 //     interrupts with a shared cache-line flag;
 //   - LibPreemptible [38], preemptive user-level threading on hardware
-//     user interrupts (UINTR, ≈2000-cycle delivery).
+//     user interrupts (UINTR, ≈2000-cycle delivery);
+//   - the idealized overhead-free TLS machine behind the Figure 4
+//     policy simulation.
 
 // WorkerPolicy selects how a TQ worker orders its admitted jobs.
 type WorkerPolicy int
@@ -65,4 +69,36 @@ func NewConcord(quantum sim.Time) *Shinjuku {
 	s := NewShinjuku(p)
 	s.name = "Concord"
 	return s
+}
+
+// NewIdealTLS returns a TQ machine stripped of every overhead, used by
+// the Figure 4 policy simulation ("TLS"): JSQ dispatch with the given
+// balancer, unbounded coroutines, free yields. It isolates the policy
+// comparison (CT vs JSQ-PS with MSQ or random tie-breaking) from
+// mechanism costs, exactly as §3.2 does.
+func NewIdealTLS(workers int, quantum sim.Time, balancer BalancerKind) *TQ {
+	p := TQParams{
+		Workers:       workers,
+		Quantum:       quantum,
+		Coroutines:    1 << 20, // effectively unbounded: pure per-core PS
+		YieldOverhead: 0,
+		ProbeOverhead: 0,
+		DispatchCost:  0,
+		ParseCost:     0,
+		StatsPeriod:   100 * sim.Nanosecond,
+		RTT:           0,
+		Balancer:      balancer,
+	}
+	name := "TLS-JSQ-PS"
+	switch balancer {
+	case BalanceJSQMSQ:
+		name += "-MSQ"
+	case BalanceJSQRandom:
+		name += "-RAND-TIE"
+	case BalanceRandom:
+		name = "TLS-RAND-PS"
+	case BalancePowerTwo:
+		name = "TLS-P2C-PS"
+	}
+	return NewTQ(p).Named(name)
 }

@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// This file is the machine kernel: the substrate every machine model
+// runs on. A scheduling run — TQ, Shinjuku, Caladan, CentralizedPS,
+// d-FCFS, or any future machine — is the same skeleton everywhere:
+//
+//	validate config → build engine/metrics/admission/generator →
+//	pump open-loop arrivals → gate each at the RX ring →
+//	hand admitted jobs to the system → drain → Result
+//
+// machineRun owns that skeleton once; machinePolicy is the small
+// interface for the parts that actually differ per system (where an
+// arriving request is steered, how its demand is inflated, and what
+// the system does with an admitted job). A new machine is a run struct
+// embedding machineRun plus policy methods — typically well under a
+// hundred lines (see dfcfs.go for the template) — and inherits arrival
+// pumping, drop bookkeeping, per-class metrics, obs emission, and the
+// conservation law Offered == Completed + Dropped by construction.
+
+// machinePolicy is the per-system half of a scheduling run. The kernel
+// calls it from the arrival path; everything after admission — worker
+// queues, preemption, balancing — lives in the implementing run struct
+// and its own engine callbacks.
+type machinePolicy interface {
+	// admitLane steers an arriving request to one of the admission
+	// gate's RX lanes (machines with a single bounded stage always
+	// return 0; TQ returns the RSS-steered dispatcher core).
+	admitLane(req workload.Request) int
+	// inflate maps a request's service demand to the job's simulated
+	// demand — probe-overhead inflation for TQ, per-request packet
+	// processing for directpath machines, identity elsewhere.
+	inflate(service sim.Time) sim.Time
+	// admit takes ownership of an admitted job. The job's RX-ring slot
+	// on lane stays occupied until the machine calls adm.release(lane)
+	// — for serial-server stages that is when the stage picks the
+	// request up; unbounded gates may release immediately or never.
+	admit(lane int, j *job)
+}
+
+// basePolicy supplies the common policy defaults — single RX lane,
+// uninflated demand — so most machines only implement admit.
+type basePolicy struct{}
+
+func (basePolicy) admitLane(workload.Request) int { return 0 }
+func (basePolicy) inflate(s sim.Time) sim.Time    { return s }
+
+// arrivalObserver is an optional extension of machinePolicy for
+// machines that mirror the arrival path into a second recorder (TQ's
+// legacy trace.Recorder). The kernel invokes the hooks just before the
+// corresponding obs emission.
+type arrivalObserver interface {
+	observeArrive(req workload.Request)
+	observeDrop(req workload.Request)
+}
+
+// machineRun is the shared state of one scheduling run. Machine run
+// structs embed it and reach the engine, metrics, admission gate, and
+// job pool through the embedded fields, exactly as they did when each
+// machine carried its own copy of this skeleton.
+type machineRun struct {
+	eng  *sim.Engine
+	cfg  RunConfig
+	met  *metrics
+	adm  *admission
+	pool jobPool
+	gen  *workload.Generator
+
+	pol machinePolicy
+	arr arrivalObserver // non-nil iff pol implements arrivalObserver
+}
+
+// init assembles the substrate. The caller constructs the workload
+// generator itself (and any machine RNG) so the per-machine RNG draw
+// order — which fixes the whole trajectory — is explicit in the
+// machine's code, not hidden in the kernel. rxLimit <= 0 models an
+// unbounded RX stage; lanes is the number of independent RX rings.
+func (k *machineRun) init(cfg RunConfig, pol machinePolicy, gen *workload.Generator, rxLimit, lanes int) {
+	cfg.validate()
+	k.eng = sim.New()
+	k.cfg = cfg
+	k.met = newMetrics(cfg)
+	k.adm = k.met.admission(rxLimit, lanes)
+	k.gen = gen
+	k.pol = pol
+	k.arr, _ = pol.(arrivalObserver)
+}
+
+// run drives the simulation: prime the arrival pump, execute to
+// drain, and collect the Result.
+func (k *machineRun) run(system string, rtt sim.Time) *Result {
+	k.scheduleNextArrival()
+	k.eng.Run()
+	res := k.met.result(system, rtt)
+	res.Events = k.eng.Executed()
+	return res
+}
+
+// scheduleNextArrival pulls the next request from the open-loop
+// generator and schedules its arrival; requests stop arriving at
+// Duration but in-flight jobs drain to completion. This is the one
+// arrival pump shared by every machine model.
+func (k *machineRun) scheduleNextArrival() {
+	req := k.gen.Next()
+	if req.Arrival > k.cfg.Duration {
+		return
+	}
+	k.eng.At(req.Arrival, func() { k.arrive(req) })
+}
+
+// arrive models the request hitting the NIC RX stage: chain the pump,
+// steer to an RX lane, gate at the bounded ring (a full ring drops the
+// packet and books it), build the pooled job, and hand it to the
+// machine's policy.
+func (k *machineRun) arrive(req workload.Request) {
+	k.scheduleNextArrival()
+	lane := k.pol.admitLane(req)
+	if k.arr != nil {
+		k.arr.observeArrive(req)
+	}
+	k.met.emit(req.Arrival, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
+	// The RX ring bounds the stage's backlog in requests — a ring holds
+	// descriptors, not time — so the bound applies even when the stage's
+	// per-request cost is zero. The request occupies its slot until the
+	// machine releases it.
+	if !k.adm.tryAdmit(lane, req.Arrival) {
+		if k.arr != nil {
+			k.arr.observeDrop(req)
+		}
+		k.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
+		return
+	}
+	j := k.pool.get()
+	j.id = req.ID
+	j.class = req.Class
+	j.arrival = req.Arrival
+	j.base = req.Service
+	j.service = k.pol.inflate(req.Service)
+	j.remain = j.service
+	k.pol.admit(lane, j)
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import "repro/internal/sim"
+
+// The registry is the front door to the machine catalogue: every
+// machine model and variant registers a stable name plus constructors
+// for its calibrated default parameters, so sweep drivers, comparison
+// tools, and command-line flags can enumerate and select machines
+// without hard-coding constructor lists. Custom parameterizations still
+// go through the typed constructors (NewTQ, NewShinjuku, ...); the
+// registry covers the common case of "run the paper's configuration of
+// machine X by name".
+
+// Entry is one registered machine.
+type Entry struct {
+	// Name is the stable registry key ("tq", "shinjuku", "caladan-ws",
+	// ...). It identifies the machine in flags and fixtures and never
+	// changes, even if the machine's display Name() does.
+	Name string
+	// Summary is a one-line description for listings.
+	Summary string
+	// New constructs the machine with its calibrated default
+	// parameters (the paper's configuration).
+	New func() Machine
+	// NewQ, when non-nil, constructs the machine with an explicit
+	// preemption quantum — for machines whose paper configuration picks
+	// the quantum per workload (Shinjuku runs at its per-workload sweet
+	// spot; §5.1). Nil for machines without a quantum knob.
+	NewQ func(q sim.Time) Machine
+}
+
+var registry = struct {
+	names   []string // registration order, for stable listings
+	entries map[string]Entry
+}{entries: map[string]Entry{}}
+
+// Register adds a machine to the catalogue. It panics on a duplicate
+// or incomplete entry — registration happens at init time, so a panic
+// is a programming error surfacing immediately.
+func Register(e Entry) {
+	if e.Name == "" || e.New == nil {
+		panic("cluster: Register needs a name and a default constructor")
+	}
+	if _, dup := registry.entries[e.Name]; dup {
+		panic("cluster: duplicate machine registration: " + e.Name)
+	}
+	registry.entries[e.Name] = e
+	registry.names = append(registry.names, e.Name)
+}
+
+// Lookup returns the entry registered under name.
+func Lookup(name string) (Entry, bool) {
+	e, ok := registry.entries[name]
+	return e, ok
+}
+
+// MustLookup is Lookup for names that must exist (tests, init-time
+// wiring); it panics with the known names on a miss.
+func MustLookup(name string) Entry {
+	e, ok := registry.entries[name]
+	if !ok {
+		panic("cluster: unknown machine " + name + " (known: " + joinNames() + ")")
+	}
+	return e
+}
+
+// Names lists every registered machine in registration order.
+func Names() []string {
+	out := make([]string, len(registry.names))
+	copy(out, registry.names)
+	return out
+}
+
+func joinNames() string {
+	s := ""
+	for i, n := range registry.names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+// tqQ parameterizes the default TQ configuration by quantum.
+func tqQ(q sim.Time) TQParams {
+	p := NewTQParams()
+	p.Quantum = q
+	return p
+}
+
+func init() {
+	Register(Entry{
+		Name:    "tq",
+		Summary: "TQ: two-level scheduling + forced multitasking (paper default)",
+		New:     func() Machine { return NewTQ(NewTQParams()) },
+		NewQ:    func(q sim.Time) Machine { return NewTQ(tqQ(q)) },
+	})
+	Register(Entry{
+		Name:    "tq-las",
+		Summary: "TQ with least-attained-service worker scheduling",
+		New:     func() Machine { return NewTQLAS(NewTQParams()) },
+		NewQ:    func(q sim.Time) Machine { return NewTQLAS(tqQ(q)) },
+	})
+	Register(Entry{
+		Name:    "tq-ic",
+		Summary: "TQ variant probed by instruction-counter instrumentation (≈60% overhead)",
+		New:     func() Machine { return NewTQIC(NewTQParams()) },
+		NewQ:    func(q sim.Time) Machine { return NewTQIC(tqQ(q)) },
+	})
+	Register(Entry{
+		Name:    "tq-slow-yield",
+		Summary: "TQ variant with 1µs added to every coroutine yield",
+		New:     func() Machine { return NewTQSlowYield(NewTQParams()) },
+		NewQ:    func(q sim.Time) Machine { return NewTQSlowYield(tqQ(q)) },
+	})
+	Register(Entry{
+		Name:    "tq-timing",
+		Summary: "TQ variant with inaccurate per-class preemption timing",
+		New:     func() Machine { return NewTQTiming(NewTQParams()) },
+	})
+	Register(Entry{
+		Name:    "tq-rand",
+		Summary: "TQ variant with random dispatcher load balancing",
+		New:     func() Machine { return NewTQRand(NewTQParams()) },
+	})
+	Register(Entry{
+		Name:    "tq-power-two",
+		Summary: "TQ variant with power-of-two-choices load balancing",
+		New:     func() Machine { return NewTQPowerTwo(NewTQParams()) },
+	})
+	Register(Entry{
+		Name:    "tq-fcfs",
+		Summary: "TQ variant with run-to-completion workers (no preemption)",
+		New:     func() Machine { return NewTQFCFS(NewTQParams()) },
+	})
+	Register(Entry{
+		Name:    "shinjuku",
+		Summary: "Shinjuku: centralized single queue + IPI preemption",
+		New:     func() Machine { return NewShinjuku(NewShinjukuParams(sim.Micros(5))) },
+		NewQ:    func(q sim.Time) Machine { return NewShinjuku(NewShinjukuParams(q)) },
+	})
+	Register(Entry{
+		Name:    "concord",
+		Summary: "Concord: centralized scheduling, cache-line-flag preemption",
+		New:     func() Machine { return NewConcord(sim.Micros(5)) },
+		NewQ:    func(q sim.Time) Machine { return NewConcord(q) },
+	})
+	Register(Entry{
+		Name:    "libpreemptible",
+		Summary: "LibPreemptible: per-worker UINTR preemption, ≥3µs quanta",
+		New:     func() Machine { return NewLibPreemptible(NewTQParams()) },
+		NewQ:    func(q sim.Time) Machine { return NewLibPreemptible(tqQ(q)) },
+	})
+	Register(Entry{
+		Name:    "caladan-iokernel",
+		Summary: "Caladan in IOKernel mode: FCFS run-to-completion, central packet core",
+		New:     func() Machine { return NewCaladan(NewCaladanParams(IOKernel)) },
+	})
+	Register(Entry{
+		Name:    "caladan-directpath",
+		Summary: "Caladan in directpath mode: FCFS run-to-completion, NIC-direct workers",
+		New:     func() Machine { return NewCaladan(NewCaladanParams(Directpath)) },
+	})
+	Register(Entry{
+		Name:    "caladan-ws",
+		Summary: "Caladan reporting the better of its two modes per configuration",
+		New:     func() Machine { return NewBestCaladan("") },
+	})
+	Register(Entry{
+		Name:    "ct-ps",
+		Summary: "Idealized centralized processor sharing (free scheduler)",
+		New:     func() Machine { return NewCentralizedPS(16, sim.Micros(2), 0) },
+		NewQ:    func(q sim.Time) Machine { return NewCentralizedPS(16, q, 0) },
+	})
+	Register(Entry{
+		Name:    "tls-jsq-msq",
+		Summary: "Idealized two-level scheduling, JSQ with MSQ tie-breaking",
+		New:     func() Machine { return NewIdealTLS(16, sim.Micros(1), BalanceJSQMSQ) },
+		NewQ:    func(q sim.Time) Machine { return NewIdealTLS(16, q, BalanceJSQMSQ) },
+	})
+	Register(Entry{
+		Name:    "tls-jsq-rand",
+		Summary: "Idealized two-level scheduling, JSQ with random tie-breaking",
+		New:     func() Machine { return NewIdealTLS(16, sim.Micros(1), BalanceJSQRandom) },
+		NewQ:    func(q sim.Time) Machine { return NewIdealTLS(16, q, BalanceJSQRandom) },
+	})
+	Register(Entry{
+		Name:    "d-fcfs",
+		Summary: "Decentralized FCFS: per-worker NIC queues, no preemption, no stealing",
+		New:     func() Machine { return NewDFCFS(NewDFCFSParams()) },
+	})
+}

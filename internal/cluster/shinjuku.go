@@ -92,16 +92,12 @@ type sjWorker struct {
 }
 
 type sjRun struct {
+	machineRun
+	basePolicy
 	m       *Shinjuku
-	eng     *sim.Engine
-	cfg     RunConfig
-	met     *metrics
-	adm     *admission
-	pool    jobPool
 	queue   core.FIFO[*job]
 	workers []sjWorker
 	idle    []int // indices of idle workers
-	gen     *workload.Generator
 
 	// The dispatcher core is a serial server over two op classes:
 	// scheduling work (assignments, IPIs) takes priority over packet
@@ -167,54 +163,28 @@ func (s *Shinjuku) RunMeasured(cfg RunConfig) (*Result, *stats.Sample) {
 }
 
 func (s *Shinjuku) run(cfg RunConfig) (*Result, *stats.Sample) {
-	cfg.validate()
 	r := &sjRun{
 		m:        s,
-		eng:      sim.New(),
-		cfg:      cfg,
-		met:      newMetrics(cfg),
 		workers:  make([]sjWorker, s.P.Workers),
-		gen:      workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)),
 		achieved: stats.NewSample(1024),
 	}
-	r.adm = r.met.admission(s.P.RXQueue, 1)
 	for w := range r.workers {
 		r.idle = append(r.idle, w)
 	}
-	r.scheduleNextArrival()
-	r.eng.Run()
-	res := r.met.result(s.Name(), s.P.RTT)
-	res.Events = r.eng.Executed()
+	// A saturated dispatcher drops packets at the RX ring. The ring
+	// holds incoming requests only — outgoing responses use their own
+	// TX descriptors.
+	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), s.P.RXQueue, 1)
+	res := r.run(s.Name(), s.P.RTT)
 	return res, r.achieved
 }
 
-func (r *sjRun) scheduleNextArrival() {
-	req := r.gen.Next()
-	if req.Arrival > r.cfg.Duration {
-		return
-	}
-	r.eng.At(req.Arrival, func() {
-		r.scheduleNextArrival()
-		r.met.emit(req.Arrival, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
-		// A saturated dispatcher drops packets at the RX ring. The
-		// ring holds incoming requests only — outgoing responses use
-		// their own TX descriptors — and the request occupies its slot
-		// until the dispatcher's packet-processing op finishes with it.
-		if !r.adm.tryAdmit(0, req.Arrival) {
-			r.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
-			return
-		}
-		j := r.pool.get()
-		j.id = req.ID
-		j.class = req.Class
-		j.arrival = req.Arrival
-		j.base = req.Service
-		j.service = req.Service
-		j.remain = req.Service
-		r.dispatcherOp(false, r.m.P.NetCost, func() {
-			r.adm.release(0)
-			r.enqueue(j)
-		})
+// admit implements machinePolicy: the request occupies its RX slot
+// until the dispatcher's packet-processing op finishes with it.
+func (r *sjRun) admit(lane int, j *job) {
+	r.dispatcherOp(false, r.m.P.NetCost, func() {
+		r.adm.release(lane)
+		r.enqueue(j)
 	})
 }
 

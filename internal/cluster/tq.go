@@ -152,13 +152,9 @@ func (wk *tqWorker) popRunnable(p WorkerPolicy) (*job, bool) {
 }
 
 type tqRun struct {
+	machineRun
 	m       *TQ
-	eng     *sim.Engine
-	cfg     RunConfig
 	rand    *rng.Rand
-	met     *metrics
-	adm     *admission
-	pool    jobPool
 	workers []tqWorker
 	tracker *core.LoadTracker
 	bal     core.Balancer
@@ -171,8 +167,6 @@ type tqRun struct {
 	// lastRefresh is when the dispatcher last read the worker counters;
 	// its load view is stale by up to StatsPeriod (§4's periodic reads).
 	lastRefresh sim.Time
-
-	gen *workload.Generator
 
 	// achieved records realized preemption intervals (full quanta plus
 	// the yield switch), for the Figure 16 accuracy measurement.
@@ -193,19 +187,17 @@ func (t *TQ) RunMeasured(cfg RunConfig) (*Result, *stats.Sample) {
 }
 
 func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
-	cfg.validate()
 	r := &tqRun{
 		m:       t,
-		eng:     sim.New(),
-		cfg:     cfg,
 		rand:    rng.New(cfg.Seed),
-		met:     newMetrics(cfg),
 		workers: make([]tqWorker, t.P.Workers),
 		tracker: core.NewLoadTracker(t.P.Workers, 32),
 	}
 	for i := range r.workers {
 		r.workers[i].idle = t.P.Coroutines
 	}
+	// RNG draw order is part of the machine's identity: balancer splits
+	// first, then the workload generator's split.
 	switch t.P.Balancer {
 	case BalanceJSQMSQ:
 		r.bal = core.NewJSQ(core.MSQ{})
@@ -218,7 +210,7 @@ func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
 	default:
 		panic("cluster: unknown balancer kind")
 	}
-	r.gen = workload.NewGenerator(cfg.Workload, cfg.Rate, r.rand.Split())
+	gen := workload.NewGenerator(cfg.Workload, cfg.Rate, r.rand.Split())
 	r.lastRefresh = -t.P.StatsPeriod // force a refresh on first dispatch
 	r.achieved = stats.NewSample(1024)
 	nDisp := t.P.Dispatchers
@@ -226,11 +218,8 @@ func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
 		nDisp = 1
 	}
 	r.dispBusyUntil = make([]sim.Time, nDisp)
-	r.adm = r.met.admission(t.P.RXQueue, nDisp)
-	r.scheduleNextArrival()
-	r.eng.Run()
-	res := r.met.result(t.name, t.P.RTT)
-	res.Events = r.eng.Executed()
+	r.init(cfg, r, gen, t.P.RXQueue, nDisp)
+	res := r.run(t.name, t.P.RTT)
 	return res, r.achieved
 }
 
@@ -256,48 +245,41 @@ func (r *tqRun) refreshView() {
 	}
 }
 
-func (r *tqRun) scheduleNextArrival() {
-	req := r.gen.Next()
-	if req.Arrival > r.cfg.Duration {
-		return
+// admitLane implements machinePolicy: RSS steers the packet to one of
+// the dispatcher cores (one core in the paper's configuration; §6
+// discusses scaling them out).
+func (r *tqRun) admitLane(req workload.Request) int {
+	if len(r.dispBusyUntil) > 1 {
+		return r.rss.Steer(req.ID, len(r.dispBusyUntil))
 	}
-	r.eng.At(req.Arrival, func() { r.arrive(req) })
+	return 0
 }
 
-// arrive models the request hitting the NIC RX queue: the dispatcher,
-// a serial server, spends DispatchCost on it and then forwards it.
-func (r *tqRun) arrive(req workload.Request) {
-	r.scheduleNextArrival()
+// inflate implements machinePolicy: compiler-inserted probes tax every
+// job's service time by ProbeOverhead.
+func (r *tqRun) inflate(s sim.Time) sim.Time {
+	return s + sim.Time(float64(s)*r.m.P.ProbeOverhead)
+}
+
+// observeArrive/observeDrop mirror the kernel's arrival path into the
+// legacy trace recorder when one is attached.
+func (r *tqRun) observeArrive(req workload.Request) {
+	r.emit(trace.Event{T: r.eng.Now(), Kind: trace.Arrive, Job: req.ID, Class: int(req.Class), Worker: -1})
+}
+
+func (r *tqRun) observeDrop(req workload.Request) {
+	r.emit(trace.Event{T: r.eng.Now(), Kind: trace.Drop, Job: req.ID, Class: int(req.Class), Worker: -1})
+}
+
+// admit implements machinePolicy: the dispatcher, a serial server,
+// spends DispatchCost on the request and then forwards it. The RX-ring
+// slot is held until the dispatcher picks the request up.
+func (r *tqRun) admit(d int, j *job) {
 	now := r.eng.Now()
-	// RSS steers the packet to one of the dispatcher cores (one core
-	// in the paper's configuration; §6 discusses scaling them out).
-	d := 0
-	if len(r.dispBusyUntil) > 1 {
-		d = r.rss.Steer(req.ID, len(r.dispBusyUntil))
-	}
-	r.emit(trace.Event{T: now, Kind: trace.Arrive, Job: req.ID, Class: int(req.Class), Worker: -1})
-	r.met.emit(now, obs.Arrive, req.ID, req.Class, obs.CoreLoadgen)
-	// The RX ring bounds the dispatcher's backlog in requests — a ring
-	// holds descriptors, not time — so the bound applies even when
-	// DispatchCost is zero. The request occupies its slot until the
-	// dispatcher picks it up.
-	if !r.adm.tryAdmit(d, req.Arrival) {
-		// RX ring overflow: the packet is dropped.
-		r.emit(trace.Event{T: now, Kind: trace.Drop, Job: req.ID, Class: int(req.Class), Worker: -1})
-		r.met.emit(now, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
-		return
-	}
 	if r.dispBusyUntil[d] < now {
 		r.dispBusyUntil[d] = now
 	}
 	r.dispBusyUntil[d] += r.m.P.DispatchCost
-	j := r.pool.get()
-	j.id = req.ID
-	j.class = req.Class
-	j.arrival = req.Arrival
-	j.base = req.Service
-	j.service = req.Service + sim.Time(float64(req.Service)*r.m.P.ProbeOverhead)
-	j.remain = j.service
 	r.eng.At(r.dispBusyUntil[d], func() {
 		r.adm.release(d)
 		r.dispatch(j)

@@ -151,13 +151,10 @@ func Fig4(sc Scale) []stats.Series {
 	w := workload.Section2Bimodal()
 	q := sim.Micros(1)
 	rates := cluster.RatesUpTo(0.9*w.MaxLoad(16), sc.Points)
-	systems := []cluster.MachineFactory{
-		func() cluster.Machine { return cluster.NewCentralizedPS(16, q, 0) },
-		func() cluster.Machine { return cluster.NewIdealTLS(16, q, cluster.BalanceJSQMSQ) },
-		func() cluster.Machine { return cluster.NewIdealTLS(16, q, cluster.BalanceJSQRandom) },
-	}
 	var out []stats.Series
-	for _, mf := range systems {
+	for _, name := range []string{"ct-ps", "tls-jsq-msq", "tls-jsq-rand"} {
+		e := cluster.MustLookup(name)
+		mf := func() cluster.Machine { return e.NewQ(q) }
 		results := sc.sweep(mf, w, rates)
 		out = append(out, cluster.SlowdownSeries(mf().Name(), "Long", results))
 	}
@@ -203,38 +200,79 @@ type SystemComparison struct {
 	DropRate []stats.Series
 }
 
+// system is one column of a cross-system comparison: a display label
+// plus a per-point machine factory.
+type system struct {
+	label string
+	mf    cluster.MachineFactory
+}
+
+// registrySystem resolves a registry name into a comparison column,
+// labelled with the given name. A positive quantum parameterizes the
+// machine through its Entry.NewQ constructor (machines without a
+// quantum knob keep their defaults).
+func registrySystem(label, name string, q sim.Time) system {
+	e := cluster.MustLookup(name)
+	mf := e.New
+	if q > 0 && e.NewQ != nil {
+		mf = func() cluster.Machine { return e.NewQ(q) }
+	}
+	return system{label: label, mf: mf}
+}
+
 // compareSystems sweeps TQ, Shinjuku (at its per-workload quantum) and
-// Caladan (better of its two modes per §5.1) over the workload.
+// Caladan (better of its two modes per §5.1, judged on the figure's
+// first class) over the workload. TQ and Shinjuku come from the
+// registry; Caladan keeps its class-judged factory because the
+// registry default judges by throughput.
 func compareSystems(sc Scale, w *workload.Workload, shinjukuQ sim.Time, classes []string, slowdown bool) SystemComparison {
+	systems := []system{
+		registrySystem("TQ", "tq", 0),
+		registrySystem("Shinjuku", "shinjuku", shinjukuQ),
+		{label: "Caladan", mf: func() cluster.Machine { return cluster.NewBestCaladan(classes[0]) }},
+	}
+	return compareMachines(sc, w, classes, slowdown, systems)
+}
+
+// CompareMachines sweeps registry machines (default parameters, display
+// names as labels) side by side over the workload — the registry-driven
+// generalization behind tqsim -machines. Classes defaulting to all of
+// the workload's.
+func CompareMachines(sc Scale, w *workload.Workload, classes []string, names ...string) SystemComparison {
+	if len(classes) == 0 {
+		for _, c := range w.Classes {
+			classes = append(classes, c.Name)
+		}
+	}
+	var systems []system
+	for _, n := range names {
+		e := cluster.MustLookup(n)
+		systems = append(systems, system{label: e.New().Name(), mf: e.New})
+	}
+	return compareMachines(sc, w, classes, false, systems)
+}
+
+// compareMachines runs one sweep per system and assembles the figure's
+// latency, slowdown, goodput, and drop-rate curves.
+func compareMachines(sc Scale, w *workload.Workload, classes []string, slowdown bool, systems []system) SystemComparison {
 	rates := cluster.RatesUpTo(0.98*w.MaxLoad(16), sc.Points)
 	cmp := SystemComparison{Workload: w.Name, PerClass: map[string][]stats.Series{}}
 
-	tqRes := sc.sweep(func() cluster.Machine { return cluster.NewTQ(cluster.NewTQParams()) }, w, rates)
-	sjRes := sc.sweep(func() cluster.Machine { return cluster.NewShinjuku(cluster.NewShinjukuParams(shinjukuQ)) }, w, rates)
-	calRes := sc.sweep(func() cluster.Machine { return cluster.NewBestCaladan(classes[0]) }, w, rates)
+	results := make([][]*cluster.Result, len(systems))
+	for i, s := range systems {
+		results[i] = sc.sweep(s.mf, w, rates)
+	}
 	for _, class := range classes {
-		cmp.PerClass[class] = []stats.Series{
-			cluster.LatencySeries("TQ", class, tqRes),
-			cluster.LatencySeries("Shinjuku", class, sjRes),
-			cluster.LatencySeries("Caladan", class, calRes),
+		for i, s := range systems {
+			cmp.PerClass[class] = append(cmp.PerClass[class], cluster.LatencySeries(s.label, class, results[i]))
 		}
 	}
-	if slowdown {
-		cmp.OverallSlowdown = []stats.Series{
-			cluster.SlowdownSeries("TQ", "", tqRes),
-			cluster.SlowdownSeries("Shinjuku", "", sjRes),
-			cluster.SlowdownSeries("Caladan", "", calRes),
+	for i, s := range systems {
+		if slowdown {
+			cmp.OverallSlowdown = append(cmp.OverallSlowdown, cluster.SlowdownSeries(s.label, "", results[i]))
 		}
-	}
-	cmp.Goodput = []stats.Series{
-		cluster.GoodputSeries("TQ", tqRes),
-		cluster.GoodputSeries("Shinjuku", sjRes),
-		cluster.GoodputSeries("Caladan", calRes),
-	}
-	cmp.DropRate = []stats.Series{
-		cluster.DropRateSeries("TQ", tqRes),
-		cluster.DropRateSeries("Shinjuku", sjRes),
-		cluster.DropRateSeries("Caladan", calRes),
+		cmp.Goodput = append(cmp.Goodput, cluster.GoodputSeries(s.label, results[i]))
+		cmp.DropRate = append(cmp.DropRate, cluster.DropRateSeries(s.label, results[i]))
 	}
 	return cmp
 }
@@ -515,14 +553,9 @@ func Table3(sc Scale) []instrument.Table3Row {
 func ExtensionComparison(sc Scale) []stats.Series {
 	w := workload.ExtremeBimodal()
 	rates := cluster.RatesUpTo(0.95*w.MaxLoad(16), sc.Points)
-	systems := []cluster.MachineFactory{
-		func() cluster.Machine { return cluster.NewTQ(cluster.NewTQParams()) },
-		func() cluster.Machine { return cluster.NewTQLAS(cluster.NewTQParams()) },
-		func() cluster.Machine { return cluster.NewConcord(sim.Micros(5)) },
-		func() cluster.Machine { return cluster.NewLibPreemptible(cluster.NewTQParams()) },
-	}
 	var out []stats.Series
-	for _, mf := range systems {
+	for _, name := range []string{"tq", "tq-las", "concord", "libpreemptible"} {
+		mf := cluster.MustLookup(name).New
 		results := sc.sweep(mf, w, rates)
 		out = append(out, cluster.SojournSeries(mf().Name(), "Short", results))
 	}
