@@ -73,6 +73,14 @@ type machineRun struct {
 
 	pol machinePolicy
 	arr arrivalObserver // non-nil iff pol implements arrivalObserver
+
+	// nextReq stages the one in-flight arrival for pumpFn. The pump is
+	// a chain — each arrival schedules the next — so a single slot and
+	// a single reused closure keep the arrival path allocation-free: a
+	// fresh `func() { arrive(req) }` per request was the pump's one
+	// steady-state allocation (see TestArrivalPumpSteadyStateAllocs).
+	nextReq workload.Request
+	pumpFn  func()
 }
 
 // init assembles the substrate. The caller constructs the workload
@@ -89,6 +97,7 @@ func (k *machineRun) init(cfg RunConfig, pol machinePolicy, gen *workload.Genera
 	k.gen = gen
 	k.pol = pol
 	k.arr, _ = pol.(arrivalObserver)
+	k.pumpFn = func() { k.arrive(k.nextReq) }
 }
 
 // run drives the simulation: prime the arrival pump, execute to
@@ -104,19 +113,23 @@ func (k *machineRun) run(system string, rtt sim.Time) *Result {
 // scheduleNextArrival pulls the next request from the open-loop
 // generator and schedules its arrival; requests stop arriving at
 // Duration but in-flight jobs drain to completion. This is the one
-// arrival pump shared by every machine model.
+// arrival pump shared by every machine model. The request is staged in
+// nextReq and delivered by the run's single pump closure, so pumping
+// allocates nothing per arrival.
 func (k *machineRun) scheduleNextArrival() {
 	req := k.gen.Next()
 	if req.Arrival > k.cfg.Duration {
 		return
 	}
-	k.eng.At(req.Arrival, func() { k.arrive(req) })
+	k.nextReq = req
+	k.eng.At(req.Arrival, k.pumpFn)
 }
 
 // arrive models the request hitting the NIC RX stage: chain the pump,
 // steer to an RX lane, gate at the bounded ring (a full ring drops the
 // packet and books it), build the pooled job, and hand it to the
-// machine's policy.
+// machine's policy. req is a copy of the staged request: chaining the
+// pump overwrites nextReq before the rest of the path reads req.
 func (k *machineRun) arrive(req workload.Request) {
 	k.scheduleNextArrival()
 	lane := k.pol.admitLane(req)

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestSinkRunCountsArrivals(t *testing.T) {
+	s := NewSink()
+	res := s.Run(RunConfig{
+		Workload: workload.ExtremeBimodal(),
+		Rate:     1e6,
+		Duration: 10 * sim.Millisecond,
+		Warmup:   sim.Millisecond,
+		Seed:     7,
+	})
+	if res.System != "sink" {
+		t.Fatalf("system %q, want sink", res.System)
+	}
+	if s.arrivals == 0 {
+		t.Fatal("sink saw no arrivals")
+	}
+	if res.Completed != 0 {
+		t.Fatalf("sink recorded %d completions, want 0", res.Completed)
+	}
+	// ~1e6 req/s for 10ms ≈ 10k arrivals; allow wide slack, catch gross
+	// miscounting.
+	if s.arrivals < 5000 || s.arrivals > 20000 {
+		t.Fatalf("arrival count %d implausible for 1e6 req/s over 10ms", s.arrivals)
+	}
+}
+
+// TestArrivalPumpSteadyStateAllocs is the PR 6 allocation guard: the
+// kernel's shared arrival path — generator draw, pump chaining, RX
+// gate, pooled job build, policy admit — must not allocate in steady
+// state. The bound uses the testing.B convention (allocs/op truncated
+// toward zero), so amortized one-time growth is tolerated but any
+// per-arrival allocation fails.
+func TestArrivalPumpSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the zero-alloc guarantee is for production builds")
+	}
+	m := MeasureArrivalPump(200_000)
+	t.Logf("arrival pump: %.1f ns/op, %.6f allocs/op", m.NsPerOp, m.AllocsPerOp)
+	if trunc := int64(m.AllocsPerOp); trunc != 0 {
+		t.Fatalf("arrival pump allocates: %.4f allocs/op (truncated %d, want 0)", m.AllocsPerOp, trunc)
+	}
+}
+
+func TestMeasureArrivalPumpRejectsBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MeasureArrivalPump(0) did not panic")
+		}
+	}()
+	MeasureArrivalPump(0)
+}

@@ -100,3 +100,15 @@ type Event struct {
 type Recorder interface {
 	Emit(Event)
 }
+
+// BatchRecorder is the optional Recorder extension for emitters that
+// buffer: EmitBatch(evs) is exactly Emit of each event in order, with
+// the per-event call overhead (and, for locked recorders, the lock)
+// amortized over the batch. The batch slice stays owned by the caller,
+// which may reuse it as soon as the call returns. The machine kernel's
+// metrics layer batches its emissions and uses this path when the
+// run's recorder provides it.
+type BatchRecorder interface {
+	Recorder
+	EmitBatch([]Event)
+}

@@ -1,9 +1,6 @@
 package obs
 
-import (
-	"sort"
-	"sync"
-)
+import "sync"
 
 // Ring is the zero-allocation bounded recorder: storage is one slice
 // allocated at construction (or lazily, once, for the zero value) and
@@ -47,6 +44,20 @@ func (r *Ring) Emit(e Event) {
 	r.discarded++
 }
 
+// EmitBatch records the events in order, counting whatever exceeds the
+// cap as discarded — Emit amortized over one bulk append.
+func (r *Ring) EmitBatch(evs []Event) {
+	if cap(r.events) == 0 {
+		r.events = make([]Event, 0, DefaultCap)
+	}
+	fit := cap(r.events) - len(r.events)
+	if fit > len(evs) {
+		fit = len(evs)
+	}
+	r.events = append(r.events, evs[:fit]...)
+	r.discarded += len(evs) - fit
+}
+
 // Events returns the recorded events in emission order. The slice is
 // owned by the ring and must not be modified.
 func (r *Ring) Events() []Event { return r.events }
@@ -68,7 +79,7 @@ func (r *Ring) Reset() {
 	r.discarded = 0
 }
 
-var _ Recorder = (*Ring)(nil)
+var _ BatchRecorder = (*Ring)(nil)
 
 // Locked wraps a Ring with a mutex for multi-goroutine writers (the
 // live load generator, TrySubmit drop paths). The zero value is ready
@@ -91,6 +102,14 @@ func (l *Locked) Emit(e Event) {
 	l.mu.Unlock()
 }
 
+// EmitBatch records the batch under one lock acquisition instead of
+// one per event.
+func (l *Locked) EmitBatch(evs []Event) {
+	l.mu.Lock()
+	l.ring.EmitBatch(evs)
+	l.mu.Unlock()
+}
+
 // Events returns a snapshot copy of the recorded events.
 func (l *Locked) Events() []Event {
 	l.mu.Lock()
@@ -100,6 +119,13 @@ func (l *Locked) Events() []Event {
 	return out
 }
 
+// Len reports the number of recorded events.
+func (l *Locked) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ring.Len()
+}
+
 // Truncated reports whether any events were discarded.
 func (l *Locked) Truncated() bool {
 	l.mu.Lock()
@@ -107,7 +133,24 @@ func (l *Locked) Truncated() bool {
 	return l.ring.Truncated()
 }
 
-var _ Recorder = (*Locked)(nil)
+// Discarded returns how many events the cap discarded — like Ring, a
+// capped concurrent recording must report its drops, or a truncated
+// timeline would read as a complete one.
+func (l *Locked) Discarded() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ring.Discarded()
+}
+
+// Reset discards all recorded events but keeps the storage, so the
+// recorder can be reused across runs without reallocating.
+func (l *Locked) Reset() {
+	l.mu.Lock()
+	l.ring.Reset()
+	l.mu.Unlock()
+}
+
+var _ BatchRecorder = (*Locked)(nil)
 
 // Sharded is a set of single-writer rings — one per emitting goroutine
 // — merged into a single time-ordered stream at read time. The live
@@ -148,17 +191,92 @@ func (s *Sharded) Truncated() bool {
 }
 
 // Events merges all shards into one stream sorted by time (stable
-// across shards, preserving each shard's emission order). Call it only
+// across shards: ties preserve each shard's emission order and order
+// equal-time events from lower-indexed shards first). Call it only
 // after the writers have stopped.
+//
+// Each shard is already in emission order — a single writer with
+// non-decreasing timestamps — so this is a k-way merge, O(n log k),
+// not a sort of the concatenation: the previous O(n log n)
+// sort.SliceStable re-sorted n events that were already k sorted runs.
 func (s *Sharded) Events() []Event {
 	var n int
 	for _, r := range s.shards {
 		n += r.Len()
 	}
 	out := make([]Event, 0, n)
-	for _, r := range s.shards {
-		out = append(out, r.Events()...)
+	m := mergeState{shards: s.shards, heads: make([]int, len(s.shards))}
+	for i, r := range s.shards {
+		if r.Len() > 0 {
+			m.push(i)
+		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	for len(m.heap) > 0 {
+		i := m.heap[0]
+		out = append(out, m.shards[i].events[m.heads[i]])
+		m.heads[i]++
+		if m.heads[i] == m.shards[i].Len() {
+			m.popTop()
+		} else {
+			m.siftDown(0)
+		}
+	}
 	return out
+}
+
+// mergeState is the k-way merge's cursor heap: shard indices ordered
+// by (head event time, shard index), the tie-break that reproduces a
+// stable sort over the shards concatenated in index order.
+type mergeState struct {
+	shards []*Ring
+	heads  []int
+	heap   []int
+}
+
+func (m *mergeState) less(a, b int) bool {
+	ta := m.shards[a].events[m.heads[a]].T
+	tb := m.shards[b].events[m.heads[b]].T
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+func (m *mergeState) push(shard int) {
+	m.heap = append(m.heap, shard)
+	for i := len(m.heap) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !m.less(m.heap[i], m.heap[parent]) {
+			break
+		}
+		m.heap[i], m.heap[parent] = m.heap[parent], m.heap[i]
+		i = parent
+	}
+}
+
+func (m *mergeState) popTop() {
+	last := len(m.heap) - 1
+	m.heap[0] = m.heap[last]
+	m.heap = m.heap[:last]
+	if last > 0 {
+		m.siftDown(0)
+	}
+}
+
+func (m *mergeState) siftDown(i int) {
+	for {
+		left := 2*i + 1
+		if left >= len(m.heap) {
+			return
+		}
+		least := left
+		if right := left + 1; right < len(m.heap) && m.less(m.heap[right], m.heap[left]) {
+			least = right
+		}
+		if !m.less(m.heap[least], m.heap[i]) {
+			return
+		}
+		m.heap[i], m.heap[least] = m.heap[least], m.heap[i]
+		i = least
+	}
 }

@@ -1,0 +1,75 @@
+package sim
+
+import "time"
+
+// This file is the engine's benchmark surface, consumed by
+// cmd/tqbench: one standard churn workload, runnable against both the
+// live timing wheel and the retired 4-ary heap, so every BENCH_*.json
+// records the wheel's speedup against the exact baseline it replaced
+// instead of a number copied from an old report.
+
+// churnDelay derives the i-th reschedule delay of the standard churn
+// workload: uniform in [1, 1000]ns from a splitmix64 stream, so both
+// queue implementations see the identical schedule without the engine
+// depending on the rng package.
+func churnDelay(state *uint64) Time {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return Time(z%1000 + 1)
+}
+
+// EngineChurn runs the standard churn workload — depth self-renewing
+// events with uniform 1..1000ns reschedule delays, the regime the
+// scheduling simulations operate in — for n events on a fresh Engine
+// and returns the wall-clock time of the measured run loop.
+func EngineChurn(depth, n int, seed uint64) time.Duration {
+	e := New()
+	state := seed
+	remaining := n
+	var fn func()
+	fn = func() {
+		remaining--
+		if remaining == 0 {
+			e.Halt()
+			return
+		}
+		e.After(churnDelay(&state), fn)
+	}
+	for i := 0; i < depth; i++ {
+		e.After(churnDelay(&state), fn)
+	}
+	start := time.Now()
+	e.Run()
+	return time.Since(start)
+}
+
+// HeapChurn is EngineChurn against the retired 4-ary heap baseline:
+// the same delay stream and live depth, driven through the equivalent
+// pop → advance clock → run callback loop the old engine used.
+func HeapChurn(depth, n int, seed uint64) time.Duration {
+	var (
+		h     eventHeap
+		now   Time
+		seq   uint64
+		state = seed
+	)
+	push := func(fn func()) {
+		seq++
+		h.push(event{at: now + churnDelay(&state), seq: seq, fn: fn})
+	}
+	var fn func()
+	fn = func() { push(fn) }
+	for i := 0; i < depth; i++ {
+		push(fn)
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ev := h.pop()
+		now = ev.at
+		ev.fn()
+	}
+	return time.Since(start)
+}

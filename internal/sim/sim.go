@@ -81,13 +81,16 @@ type event struct {
 }
 
 // Engine runs events in timestamp order. The zero value is ready to
-// use.
+// use. The queue behind it is a hierarchical timing wheel (wheel.go);
+// the ordering contract — (at, seq), so same-instant events fire in
+// scheduling order — is independent of the queue implementation and
+// pinned by differential tests against the retired heap (heap.go).
 type Engine struct {
 	now      Time
 	seq      uint64
 	executed uint64
-	heap     []event
 	halted   bool
+	wheel    timingWheel
 }
 
 // New returns a fresh engine at time zero.
@@ -103,7 +106,7 @@ func (e *Engine) At(at Time, fn func()) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	e.push(event{at: at, seq: e.seq, fn: fn})
+	e.wheel.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -115,11 +118,16 @@ func (e *Engine) After(d Time, fn func()) {
 }
 
 // Halt stops the run loop after the current event returns. Pending
-// events remain queued.
+// events remain queued. The halt is sticky until a run loop consumes
+// it: calling Halt with no loop active makes the next Run or RunUntil
+// return immediately, executing nothing and (for RunUntil) leaving the
+// clock where it was. Each Run/RunUntil call consumes at most one
+// halt, so the call after that proceeds normally. (Before PR 6 the run
+// loops reset the flag on entry, silently discarding a pre-run Halt.)
 func (e *Engine) Halt() { e.halted = true }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.wheel.count }
 
 // Executed reports the number of events run so far — the natural unit
 // of simulation work, used by the sweep progress layer to report
@@ -129,23 +137,27 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Run executes events until the queue is empty or Halt is called. It
 // returns the final virtual time.
 func (e *Engine) Run() Time {
-	e.halted = false
-	for len(e.heap) > 0 && !e.halted {
-		ev := e.pop()
+	for e.wheel.count > 0 && !e.halted {
+		ev := e.wheel.pop()
 		e.now = ev.at
 		e.executed++
 		ev.fn()
 	}
+	e.halted = false // consume the halt, see Halt
 	return e.now
 }
 
 // RunUntil executes events with timestamps <= deadline (or until Halt),
 // then advances the clock to the deadline. Events beyond the deadline
-// stay queued.
+// stay queued; a halted RunUntil leaves the clock at the last executed
+// event rather than advancing it to the deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
-	e.halted = false
-	for len(e.heap) > 0 && !e.halted && e.heap[0].at <= deadline {
-		ev := e.pop()
+	for !e.halted {
+		t, ok := e.wheel.nextTime(deadline)
+		if !ok || t > deadline {
+			break
+		}
+		ev := e.wheel.pop()
 		e.now = ev.at
 		e.executed++
 		ev.fn()
@@ -153,63 +165,8 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	if !e.halted && e.now < deadline {
 		e.now = deadline
 	}
+	e.halted = false // consume the halt, see Halt
 	return e.now
-}
-
-// The event queue is a 4-ary min-heap ordered by (at, seq): 4-ary heaps
-// trade slightly more comparisons per level for half the levels, which
-// measures faster than a binary heap for the tens of millions of events
-// a single load-sweep point generates.
-
-func (e *Engine) less(i, j int) bool {
-	a, b := &e.heap[i], &e.heap[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev event) {
-	e.heap = append(e.heap, ev)
-	i := len(e.heap) - 1
-	for i > 0 {
-		parent := (i - 1) / 4
-		if !e.less(i, parent) {
-			break
-		}
-		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
-		i = parent
-	}
-}
-
-func (e *Engine) pop() event {
-	top := e.heap[0]
-	last := len(e.heap) - 1
-	e.heap[0] = e.heap[last]
-	e.heap = e.heap[:last]
-	i := 0
-	for {
-		first := 4*i + 1
-		if first >= len(e.heap) {
-			break
-		}
-		min := first
-		end := first + 4
-		if end > len(e.heap) {
-			end = len(e.heap)
-		}
-		for c := first + 1; c < end; c++ {
-			if e.less(c, min) {
-				min = c
-			}
-		}
-		if !e.less(min, i) {
-			break
-		}
-		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
-		i = min
-	}
-	return top
 }
 
 // Ticker invokes fn every period ns starting at the next period

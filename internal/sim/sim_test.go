@@ -265,12 +265,37 @@ func BenchmarkEngineChurn(b *testing.B) {
 	b.ResetTimer()
 	count := 0
 	target := b.N
-	e2 := e
 	for count < target {
-		ev := e2.pop()
-		e2.now = ev.at
+		ev := e.wheel.pop()
+		e.now = ev.at
 		ev.fn()
 		count++
+	}
+}
+
+// BenchmarkEngineChurnHeap is the same workload on the retired 4-ary
+// heap, the before-number every BENCH_*.json compares the wheel to.
+func BenchmarkEngineChurnHeap(b *testing.B) {
+	var (
+		h   eventHeap
+		now Time
+		seq uint64
+	)
+	r := rng.New(1)
+	push := func(fn func()) {
+		seq++
+		h.push(event{at: now + Time(r.Uint64n(1000)+1), seq: seq, fn: fn})
+	}
+	var fn func()
+	fn = func() { push(fn) }
+	for i := 0; i < 1024; i++ {
+		push(fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := h.pop()
+		now = ev.at
+		ev.fn()
 	}
 }
 
