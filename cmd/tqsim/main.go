@@ -14,6 +14,7 @@
 //	tqsim -fig 7                 # one figure at full scale
 //	tqsim -fig all -quick        # everything, reduced duration
 //	tqsim -fig dispatcher        # §6 microbenchmark
+//	tqsim -rack 10 -route random,sew  # routing policies over a 10-machine fleet
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/rack"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -42,8 +44,16 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a windowed scheduling time series (TSV) of a short TQ run to this file and exit")
 	slo := flag.String("slo", "", `per-class sojourn SLOs for goodput, e.g. "GET=50us,SCAN=1ms" or a bare "100us" for all classes`)
 	machines := flag.String("machines", "", `comma-separated registry machines to sweep side by side, e.g. "tq,shinjuku,caladan-ws,ct-ps"; "list" prints the catalogue`)
-	workloadName := flag.String("workload", "HighBimodal", "workload for -machines (names as in -fig table1)")
+	workloadName := flag.String("workload", "HighBimodal", "workload for -machines and -rack (names as in -fig table1)")
+	rackN := flag.Int("rack", 0, "fleet size: sweep -route routing policies over N-machine fleets of each -machines machine (default fleet machine: tq)")
+	route := flag.String("route", "random,p2c,least,sew", `comma-separated routing policies for -rack; "list" prints the catalogue`)
 	flag.Parse()
+	if *route == "list" {
+		for _, n := range rack.RouterNames() {
+			fmt.Println(n)
+		}
+		return
+	}
 	if *machines == "list" {
 		for _, n := range cluster.Names() {
 			e, _ := cluster.Lookup(n)
@@ -68,7 +78,7 @@ func main() {
 		fmt.Printf("wrote windowed scheduling metrics to %s\n", *metricsOut)
 		return
 	}
-	if *fig == "" && *machines == "" {
+	if *fig == "" && *machines == "" && *rackN <= 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -95,6 +105,13 @@ func main() {
 		}
 	}
 
+	if *rackN > 0 {
+		if err := runRack(sc, *rackN, *route, *machines, *workloadName); err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *machines != "" {
 		if err := runMachines(sc, *machines, *workloadName); err != nil {
 			fmt.Fprintln(os.Stderr, "tqsim:", err)
@@ -209,6 +226,60 @@ func runMachines(sc experiments.Scale, list, workloadName string) error {
 	}
 	header(fmt.Sprintf("Machine comparison on %s: p99.9 end-to-end(µs) vs rate(rps)", w.Name))
 	printComparison(experiments.CompareMachines(sc, w, nil, names...))
+	return nil
+}
+
+// runRack sweeps routing policies side by side over N-machine fleets —
+// the rack routing plane behind -rack N. The -machines list names the
+// per-node machine(s), defaulting to tq; -route names the policies.
+func runRack(sc experiments.Scale, n int, routeList, machineList, workloadName string) error {
+	w, err := findWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+	known := map[string]bool{}
+	for _, p := range rack.RouterNames() {
+		known[p] = true
+	}
+	var policies []string
+	for _, p := range strings.Split(routeList, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !known[p] {
+			return fmt.Errorf("unknown routing policy %q (known: %s)", p, strings.Join(rack.RouterNames(), ", "))
+		}
+		policies = append(policies, p)
+	}
+	if len(policies) == 0 {
+		return fmt.Errorf("empty -route value")
+	}
+	if machineList == "" {
+		machineList = "tq"
+	}
+	var names []string
+	for _, m := range strings.Split(machineList, ",") {
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		e, ok := cluster.Lookup(m)
+		if !ok {
+			return fmt.Errorf("unknown machine %q (run -machines list for the catalogue)", m)
+		}
+		if !e.CanNode() {
+			return fmt.Errorf("machine %q has no node form and cannot join a fleet", m)
+		}
+		names = append(names, m)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("empty -machines value")
+	}
+	for _, m := range names {
+		header(fmt.Sprintf("Rack: %d× %s on %s, routing policies side by side, x=rate(rps)", n, m, w.Name))
+		printRack(experiments.CompareRack(sc, w, n, m, policies))
+	}
 	return nil
 }
 
@@ -341,6 +412,26 @@ func printComparison(cmp experiments.SystemComparison) {
 	}
 	// Drop-rate curves appear only once something actually dropped:
 	// survivor-only latency curves flatten right where these rise.
+	if anyNonZero(cmp.DropRate) {
+		fmt.Printf("## %s / drop rate\n", cmp.Workload)
+		printSeries(cmp.DropRate)
+	}
+}
+
+func printRack(cmp experiments.RackComparison) {
+	classes := make([]string, 0, len(cmp.P999))
+	for c := range cmp.P999 {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Printf("## %s / %s p99 sojourn(µs)\n", cmp.Workload, class)
+		printSeries(cmp.P99[class])
+		fmt.Printf("## %s / %s p99.9 sojourn(µs)\n", cmp.Workload, class)
+		printSeries(cmp.P999[class])
+	}
+	fmt.Printf("## %s / goodput (rps)\n", cmp.Workload)
+	printSeries(cmp.Goodput)
 	if anyNonZero(cmp.DropRate) {
 		fmt.Printf("## %s / drop rate\n", cmp.Workload)
 		printSeries(cmp.DropRate)

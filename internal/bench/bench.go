@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/rack"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -188,6 +189,7 @@ var matrix = []matrixBench{
 	{"machine/shinjuku-run", 20, 5, benchShinjukuRun},
 	{"obs/tq-run-traced", 20, 5, benchTQRunTraced},
 	{"sweep/parallel-grid", 8, 4, benchParallelGrid},
+	{"rack/fleet-run", 20, 5, benchRackRun},
 }
 
 // churnDepth is the standing event count for the engine churn
@@ -294,6 +296,25 @@ func benchTQRunTraced(ms int) Result {
 	// empty and stays in the fast append path (a Reset is O(1)).
 	return benchMachine(func() cluster.Machine { rec.Reset(); return cluster.NewTQ(cluster.NewTQParams()) },
 		cfg, fmt.Sprintf("full TQ run with obs ring attached, %dms", ms))
+}
+
+// benchRackRun measures the rack routing plane end to end: a 4-machine
+// TQ fleet behind shortest-expected-wait routing — one shared engine,
+// the fleet arrival pump, per-request routing with backlog probes and
+// completion feedback, and per-machine admission all on the hot path.
+func benchRackRun(ms int) Result {
+	const fleetSize = 4
+	w := workload.HighBimodal()
+	cfg := cluster.RunConfig{
+		Workload: w,
+		Rate:     0.6 * w.MaxLoad(16*fleetSize),
+		Duration: sim.Time(ms) * sim.Millisecond,
+		Warmup:   sim.Time(ms) / 10 * sim.Millisecond,
+		Seed:     1,
+	}
+	return benchMachine(func() cluster.Machine {
+		return rack.Fleet{N: fleetSize, Machine: "tq", Policy: "sew"}
+	}, cfg, fmt.Sprintf("4x tq fleet behind sew routing, HighBimodal @60%%, %dms", ms))
 }
 
 func benchParallelGrid(points int) Result {

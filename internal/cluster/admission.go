@@ -51,10 +51,16 @@ func (a *admission) tryAdmit(lane int, arrival sim.Time) bool {
 }
 
 // release frees one slot of the lane: the bounded stage has picked the
-// request up. Machines with unbounded admission never call it.
+// request up. Machines with unbounded admission never call it. A
+// release without a matching tryAdmit is a machine-model bug — letting
+// occupancy go negative would silently widen the RX bound for the rest
+// of the run — so underflow panics, like a misregistered machine does.
 func (a *admission) release(lane int) {
 	if a.limit <= 0 {
 		return
+	}
+	if a.pending[lane] <= 0 {
+		panic("cluster: admission.release without matching tryAdmit (RX occupancy underflow)")
 	}
 	a.pending[lane]--
 }

@@ -1,0 +1,50 @@
+package cluster
+
+import "testing"
+
+// A release without a matching tryAdmit used to drive the lane's
+// occupancy negative, silently widening the RX bound for the rest of
+// the run (the lane would admit limit+|underflow| requests before
+// dropping again). It now panics at the buggy release.
+func TestAdmissionReleaseUnderflowPanics(t *testing.T) {
+	a := newAdmission(0, 4, 2)
+	if !a.tryAdmit(1, 0) {
+		t.Fatal("empty lane refused a request")
+	}
+	a.release(1) // matched: fine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmatched release did not panic")
+		}
+	}()
+	a.release(1)
+}
+
+// Unbounded gates (limit <= 0) track no occupancy, so release stays a
+// no-op there — machines with free admission may release or not.
+func TestAdmissionUnboundedReleaseIsNoop(t *testing.T) {
+	a := newAdmission(0, 0, 1)
+	a.release(0)
+	if !a.tryAdmit(0, 0) {
+		t.Fatal("unbounded gate refused a request")
+	}
+}
+
+// The bound must hold exactly at the limit: limit admissions fill the
+// lane, the next arrival drops, and one release reopens one slot.
+func TestAdmissionBoundIsExact(t *testing.T) {
+	a := newAdmission(0, 2, 1)
+	if !a.tryAdmit(0, 0) || !a.tryAdmit(0, 0) {
+		t.Fatal("lane refused requests under its limit")
+	}
+	if a.tryAdmit(0, 0) {
+		t.Fatal("full lane admitted a request")
+	}
+	if a.dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", a.dropped)
+	}
+	a.release(0)
+	if !a.tryAdmit(0, 0) {
+		t.Fatal("released slot not reusable")
+	}
+}

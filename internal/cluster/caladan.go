@@ -98,16 +98,16 @@ type calRun struct {
 	iokBusyUntil sim.Time
 }
 
-// Run implements Machine.
-func (c *Caladan) Run(cfg RunConfig) *Result {
+// newRun builds the run struct and its RX bound: only the IOKernel is
+// a bounded serial stage; directpath workers read the NIC directly, so
+// their arrive path goes through an unbounded gate (limit 0) and never
+// drops.
+func (c *Caladan) newRun(cfg RunConfig) (*calRun, int) {
 	r := &calRun{
 		m:       c,
 		workers: make([]calWorker, c.P.Workers),
 		rand:    rng.New(cfg.Seed ^ 0xca1ada),
 	}
-	// Only the IOKernel is a bounded serial stage; directpath workers
-	// read the NIC directly, so their arrive path goes through an
-	// unbounded gate (limit 0) and never drops.
 	limit := 0
 	if c.P.Mode == IOKernel {
 		limit = c.P.RXQueue
@@ -115,8 +115,25 @@ func (c *Caladan) Run(cfg RunConfig) *Result {
 	for w := range r.workers {
 		r.idle = append(r.idle, w)
 	}
+	return r, limit
+}
+
+// Run implements Machine.
+func (c *Caladan) Run(cfg RunConfig) *Result {
+	r, limit := c.newRun(cfg)
 	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), limit, 1)
 	return r.run(c.Name(), c.P.RTT)
+}
+
+// NewNode binds the machine to a shared engine as a cluster Node (the
+// rack-fleet form; see Entry.NewNode). One mode per node: BestCaladan's
+// run-both-and-pick cannot share an engine, so "caladan-ws" has no node
+// form.
+func (c *Caladan) NewNode(eng *sim.Engine, cfg RunConfig) Node {
+	r, limit := c.newRun(cfg)
+	r.attach(eng, cfg, r, limit, 1)
+	r.bind(c.Name(), c.P.Workers, c.P.RTT)
+	return r
 }
 
 // inflate implements machinePolicy: in directpath mode packet

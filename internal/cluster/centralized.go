@@ -46,17 +46,31 @@ type ctRun struct {
 	free []int32
 }
 
-// Run implements Machine.
-func (c *CentralizedPS) Run(cfg RunConfig) *Result {
+func (c *CentralizedPS) newRun() *ctRun {
 	r := &ctRun{m: c}
 	for i := c.Workers - 1; i >= 0; i-- {
 		r.free = append(r.free, int32(i)) // pop from the end: core 0 first
 	}
+	return r
+}
+
+// Run implements Machine.
+func (c *CentralizedPS) Run(cfg RunConfig) *Result {
+	r := c.newRun()
 	// The idealized scheduler has no bounded RX stage (limit 0): the
 	// gate admits everything, but the arrive path still goes through it
 	// so Offered/Dropped accounting is uniform across machine models.
 	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), 0, 1)
 	return r.run(c.Name(), 0)
+}
+
+// NewNode binds the machine to a shared engine as a cluster Node (the
+// rack-fleet form; see Entry.NewNode).
+func (c *CentralizedPS) NewNode(eng *sim.Engine, cfg RunConfig) Node {
+	r := c.newRun()
+	r.attach(eng, cfg, r, 0, 1)
+	r.bind(c.Name(), c.Workers, 0)
+	return r
 }
 
 // admit implements machinePolicy: the free scheduler mounts the job on

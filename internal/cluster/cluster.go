@@ -23,9 +23,23 @@ type job struct {
 }
 
 // jobPool is a trivial freelist; the simulation is single-threaded.
-type jobPool struct{ free []*job }
+// Besides recycling, it keeps the one machine-generic load signal:
+// every admitted request takes a job from the pool and returns it when
+// it leaves the machine, so out is the in-machine backlog regardless
+// of which queues the model shuffles the job through in between.
+type jobPool struct {
+	free []*job
+	// out counts jobs currently out of the pool — admitted but not yet
+	// recycled — the queue-depth signal blind routing reads (Node.Backlog).
+	out int
+	// onPut, when non-nil, observes each job as it returns to the pool,
+	// before its fields are recycled — the completion feed load-signal
+	// consumers (rack shortest-expected-wait) estimate service time from.
+	onPut func(*job)
+}
 
 func (p *jobPool) get() *job {
+	p.out++
 	if n := len(p.free); n > 0 {
 		j := p.free[n-1]
 		p.free = p.free[:n-1]
@@ -35,7 +49,13 @@ func (p *jobPool) get() *job {
 	return &job{}
 }
 
-func (p *jobPool) put(j *job) { p.free = append(p.free, j) }
+func (p *jobPool) put(j *job) {
+	p.out--
+	if p.onPut != nil {
+		p.onPut(j)
+	}
+	p.free = append(p.free, j)
+}
 
 // RunConfig describes one simulated experiment: a workload arriving at
 // a fixed open-loop rate for a fixed virtual duration.
@@ -145,6 +165,16 @@ func (r *Result) P999SojournUs(class string) float64 {
 		return 0
 	}
 	return c.Sojourn.P999() / 1000
+}
+
+// P99SojournUs returns the p99 sojourn time of a class in µs — the
+// coarser tail the rack routing comparisons report alongside p99.9.
+func (r *Result) P99SojournUs(class string) float64 {
+	c := r.Class(class)
+	if c == nil || c.Count == 0 {
+		return 0
+	}
+	return c.Sojourn.P99() / 1000
 }
 
 // P999EndToEndUs returns the p99.9 end-to-end latency (sojourn + RTT)

@@ -102,6 +102,69 @@ func TestRegistryTimelines(t *testing.T) {
 	}
 }
 
+// TestRegistryDropCores pins the drop-attribution vocabulary: a drop
+// lands on the obs track of the core that owns the overflowed RX ring.
+// Machines with a central bounded stage (TQ's dispatcher rings,
+// Shinjuku's packet core, Caladan's IOKernel) book every drop on the
+// dispatcher track; machines whose RX lanes are per-worker NIC queues
+// (d-FCFS) book each drop on the owning worker's track — the kernel
+// used to hard-code the dispatcher for all of them, mislabelling
+// per-worker losses. Machines with unbounded gates never drop.
+func TestRegistryDropCores(t *testing.T) {
+	cfg := conformanceConfigs()["overload"]
+	// Push hard enough that even 16 per-worker lanes each saturate
+	// (d-FCFS serves ≈2.8Mrps per worker at 360ns/request).
+	cfg.Rate = 80e6
+	perWorkerLanes := map[string]bool{"d-fcfs": true}
+	for _, name := range Names() {
+		e := MustLookup(name)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rec := obs.NewRing(1 << 22)
+			c := cfg
+			c.Obs = rec
+			res := e.New().Run(c)
+			if rec.Truncated() {
+				t.Fatalf("recorder truncated (%d discarded); raise the test cap", rec.Discarded())
+			}
+			cores := map[int32]uint64{}
+			var drops uint64
+			for _, ev := range rec.Events() {
+				if ev.Kind == obs.Drop {
+					cores[ev.Core]++
+					drops++
+				}
+			}
+			if res.Dropped == 0 {
+				if drops != 0 {
+					t.Fatalf("%d drop events but Result.Dropped == 0", drops)
+				}
+				return // unbounded gate: nothing to attribute
+			}
+			if drops == 0 {
+				t.Fatalf("Result.Dropped == %d but no drop events recorded", res.Dropped)
+			}
+			if perWorkerLanes[name] {
+				for core := range cores {
+					if core < 0 {
+						t.Errorf("per-worker-lane machine dropped on pseudo-core %d; want a worker track", core)
+					}
+				}
+				if len(cores) < 2 {
+					t.Errorf("per-worker-lane drops all landed on one core; want RSS to spread them")
+				}
+				return
+			}
+			for core, n := range cores {
+				if core != obs.CoreDispatcher {
+					t.Errorf("%d central-stage drops on core %d; want CoreDispatcher (%d)",
+						n, core, obs.CoreDispatcher)
+				}
+			}
+		})
+	}
+}
+
 // TestRegistryNewQ checks that every quantum-parameterized constructor
 // builds a runnable machine.
 func TestRegistryNewQ(t *testing.T) {

@@ -82,12 +82,26 @@ func (d *DFCFS) Run(cfg RunConfig) *Result {
 	return r.run(d.Name(), d.P.RTT)
 }
 
+// NewNode binds the machine to a shared engine as a cluster Node (the
+// rack-fleet form; see Entry.NewNode).
+func (d *DFCFS) NewNode(eng *sim.Engine, cfg RunConfig) Node {
+	r := &dfRun{m: d, workers: make([]dfWorker, d.P.Workers)}
+	r.attach(eng, cfg, r, d.P.RXQueue, d.P.Workers)
+	r.bind(d.Name(), d.P.Workers, d.P.RTT)
+	return r
+}
+
 // admitLane implements machinePolicy: RSS hashes the request to its
 // worker's NIC queue. The lane is the worker — there is no later
 // steering decision to revisit it.
 func (r *dfRun) admitLane(req workload.Request) int {
 	return r.rss.Steer(req.ID, len(r.workers))
 }
+
+// dropCore implements machinePolicy: the lane is a per-worker NIC
+// queue, so an overflow there is that worker's loss — the timeline
+// books it on the worker's track, not the (nonexistent) dispatcher's.
+func (r *dfRun) dropCore(lane int) int32 { return int32(lane) }
 
 // inflate implements machinePolicy: packet processing happens on the
 // worker, as in Caladan's directpath mode.

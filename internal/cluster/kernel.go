@@ -22,6 +22,13 @@ import (
 // hundred lines (see dfcfs.go for the template) — and inherits arrival
 // pumping, drop bookkeeping, per-class metrics, obs emission, and the
 // conservation law Offered == Completed + Dropped by construction.
+//
+// The kernel has two front doors. init binds a standalone run: the
+// machine owns its engine and generator, and run() drives the
+// simulation to a Result — the Machine.Run path. attach instead binds
+// the run to an engine owned by an embedding layer (the rack fleet in
+// internal/rack), which pumps a shared arrival stream itself and
+// delivers this machine's slice of it through Inject; see node.go.
 
 // machinePolicy is the per-system half of a scheduling run. The kernel
 // calls it from the arrival path; everything after admission — worker
@@ -32,6 +39,12 @@ type machinePolicy interface {
 	// gate's RX lanes (machines with a single bounded stage always
 	// return 0; TQ returns the RSS-steered dispatcher core).
 	admitLane(req workload.Request) int
+	// dropCore names the obs track a drop at the given lane lands on.
+	// Machines whose RX lanes are per-worker NIC queues (d-FCFS) return
+	// the worker core; machines with a central bounded stage return
+	// obs.CoreDispatcher. The kernel books every drop through this, so
+	// a timeline attributes the loss to the ring that actually overflowed.
+	dropCore(lane int) int32
 	// inflate maps a request's service demand to the job's simulated
 	// demand — probe-overhead inflation for TQ, per-request packet
 	// processing for directpath machines, identity elsewhere.
@@ -44,10 +57,12 @@ type machinePolicy interface {
 }
 
 // basePolicy supplies the common policy defaults — single RX lane,
-// uninflated demand — so most machines only implement admit.
+// dispatcher-attributed drops, uninflated demand — so most machines
+// only implement admit.
 type basePolicy struct{}
 
 func (basePolicy) admitLane(workload.Request) int { return 0 }
+func (basePolicy) dropCore(int) int32             { return obs.CoreDispatcher }
 func (basePolicy) inflate(s sim.Time) sim.Time    { return s }
 
 // arrivalObserver is an optional extension of machinePolicy for
@@ -57,6 +72,53 @@ func (basePolicy) inflate(s sim.Time) sim.Time    { return s }
 type arrivalObserver interface {
 	observeArrive(req workload.Request)
 	observeDrop(req workload.Request)
+}
+
+// Pump drives one open-loop arrival stream: it pulls requests from a
+// generator and delivers each at its arrival instant, until the first
+// arrival past the horizon. The pump is a chain — each delivery
+// schedules the next — with a single staged request and one reused
+// closure, so pumping allocates nothing per arrival (a fresh
+// `func() { deliver(req) }` per request was the pump's one
+// steady-state allocation; see TestArrivalPumpSteadyStateAllocs).
+//
+// Every standalone machine run pumps through this type, and so does
+// the rack fleet (internal/rack), whose deliver routes each request to
+// one machine node — the one arrival pump shared by every layer.
+type Pump struct {
+	eng     *sim.Engine
+	gen     *workload.Generator
+	horizon sim.Time
+	deliver func(workload.Request)
+	// next stages the one in-flight arrival for fn.
+	next workload.Request
+	fn   func()
+}
+
+// NewPump returns a pump feeding deliver from gen on eng. Requests
+// stop arriving at the horizon, but events already in the engine (jobs
+// in flight) still drain. Start schedules the first arrival.
+func NewPump(eng *sim.Engine, gen *workload.Generator, horizon sim.Time, deliver func(workload.Request)) *Pump {
+	p := &Pump{eng: eng, gen: gen, horizon: horizon, deliver: deliver}
+	p.fn = func() {
+		// Copy the staged request first: chaining the next arrival
+		// overwrites the stage before deliver runs.
+		req := p.next
+		p.Start()
+		p.deliver(req)
+	}
+	return p
+}
+
+// Start schedules the next arrival (the first, when called from
+// outside the chain). Requests past the horizon end the stream.
+func (p *Pump) Start() {
+	req := p.gen.Next()
+	if req.Arrival > p.horizon {
+		return
+	}
+	p.next = req
+	p.eng.At(req.Arrival, p.fn)
 }
 
 // machineRun is the shared state of one scheduling run. Machine run
@@ -69,69 +131,77 @@ type machineRun struct {
 	met  *metrics
 	adm  *admission
 	pool jobPool
-	gen  *workload.Generator
 
 	pol machinePolicy
 	arr arrivalObserver // non-nil iff pol implements arrivalObserver
 
-	// nextReq stages the one in-flight arrival for pumpFn. The pump is
-	// a chain — each arrival schedules the next — so a single slot and
-	// a single reused closure keep the arrival path allocation-free: a
-	// fresh `func() { arrive(req) }` per request was the pump's one
-	// steady-state allocation (see TestArrivalPumpSteadyStateAllocs).
-	nextReq workload.Request
-	pumpFn  func()
+	// pump is the run's arrival source in standalone mode; nil for an
+	// attached node, whose embedding layer pumps a shared stream.
+	pump *Pump
+
+	// onDrop, when non-nil, observes the class of every admission drop
+	// (Node.OnDrop) — the retirement feed for routers tracking placed
+	// work.
+	onDrop func(workload.Class)
+
+	// system, workers, and rtt describe the machine for Result
+	// collection; set by init/bind.
+	system  string
+	workers int
+	rtt     sim.Time
 }
 
-// init assembles the substrate. The caller constructs the workload
-// generator itself (and any machine RNG) so the per-machine RNG draw
-// order — which fixes the whole trajectory — is explicit in the
-// machine's code, not hidden in the kernel. rxLimit <= 0 models an
-// unbounded RX stage; lanes is the number of independent RX rings.
-func (k *machineRun) init(cfg RunConfig, pol machinePolicy, gen *workload.Generator, rxLimit, lanes int) {
+// attach assembles the substrate on an externally owned engine: the
+// node form of a run, used by embedding layers (the rack fleet). The
+// node has no generator and no pump — arrivals come from the embedder
+// through inject — but gets the full admission, metrics, and obs
+// bookkeeping of a standalone run. rxLimit <= 0 models an unbounded RX
+// stage; lanes is the number of independent RX rings.
+func (k *machineRun) attach(eng *sim.Engine, cfg RunConfig, pol machinePolicy, rxLimit, lanes int) {
 	cfg.validate()
-	k.eng = sim.New()
+	k.eng = eng
 	k.cfg = cfg
 	k.met = newMetrics(cfg)
 	k.adm = k.met.admission(rxLimit, lanes)
-	k.gen = gen
 	k.pol = pol
 	k.arr, _ = pol.(arrivalObserver)
-	k.pumpFn = func() { k.arrive(k.nextReq) }
 }
 
-// run drives the simulation: prime the arrival pump, execute to
-// drain, and collect the Result.
+// init assembles the substrate for a standalone run: attach on a fresh
+// engine, plus the machine's own arrival pump. The caller constructs
+// the workload generator itself (and any machine RNG) so the
+// per-machine RNG draw order — which fixes the whole trajectory — is
+// explicit in the machine's code, not hidden in the kernel.
+func (k *machineRun) init(cfg RunConfig, pol machinePolicy, gen *workload.Generator, rxLimit, lanes int) {
+	k.attach(sim.New(), cfg, pol, rxLimit, lanes)
+	k.pump = NewPump(k.eng, gen, cfg.Duration, k.inject)
+}
+
+// bind records the machine identity a node reports through Collect —
+// the display name, worker-core count, and modelled network RTT.
+func (k *machineRun) bind(system string, workers int, rtt sim.Time) {
+	k.system = system
+	k.workers = workers
+	k.rtt = rtt
+}
+
+// run drives a standalone simulation: prime the arrival pump, execute
+// to drain, and collect the Result.
 func (k *machineRun) run(system string, rtt sim.Time) *Result {
-	k.scheduleNextArrival()
+	k.bind(system, k.workers, rtt)
+	k.pump.Start()
 	k.eng.Run()
 	res := k.met.result(system, rtt)
 	res.Events = k.eng.Executed()
 	return res
 }
 
-// scheduleNextArrival pulls the next request from the open-loop
-// generator and schedules its arrival; requests stop arriving at
-// Duration but in-flight jobs drain to completion. This is the one
-// arrival pump shared by every machine model. The request is staged in
-// nextReq and delivered by the run's single pump closure, so pumping
-// allocates nothing per arrival.
-func (k *machineRun) scheduleNextArrival() {
-	req := k.gen.Next()
-	if req.Arrival > k.cfg.Duration {
-		return
-	}
-	k.nextReq = req
-	k.eng.At(req.Arrival, k.pumpFn)
-}
-
-// arrive models the request hitting the NIC RX stage: chain the pump,
-// steer to an RX lane, gate at the bounded ring (a full ring drops the
-// packet and books it), build the pooled job, and hand it to the
-// machine's policy. req is a copy of the staged request: chaining the
-// pump overwrites nextReq before the rest of the path reads req.
-func (k *machineRun) arrive(req workload.Request) {
-	k.scheduleNextArrival()
+// inject models the request hitting the NIC RX stage: steer to an RX
+// lane, gate at the bounded ring (a full ring drops the packet and
+// books it, attributed to the lane's core), build the pooled job, and
+// hand it to the machine's policy. Standalone runs reach it through
+// the pump; attached nodes through Inject.
+func (k *machineRun) inject(req workload.Request) {
 	lane := k.pol.admitLane(req)
 	if k.arr != nil {
 		k.arr.observeArrive(req)
@@ -145,7 +215,10 @@ func (k *machineRun) arrive(req workload.Request) {
 		if k.arr != nil {
 			k.arr.observeDrop(req)
 		}
-		k.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, obs.CoreDispatcher)
+		k.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, k.pol.dropCore(lane))
+		if k.onDrop != nil {
+			k.onDrop(req.Class)
+		}
 		return
 	}
 	j := k.pool.get()

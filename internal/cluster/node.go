@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Node is a machine bound to an externally owned engine: the form a
+// registry machine takes inside a multi-machine composition (the rack
+// fleet in internal/rack). Where Machine.Run owns the whole lifecycle
+// — engine, generator, pump, drain, Result — a Node receives arrivals
+// one at a time from the embedding layer and exposes the load signals
+// a blind inter-server router steers on. Entry.NewNode constructs one;
+// machineRun implements the interface, so every kernel-based machine
+// is a Node for free.
+//
+// A Node shares its engine with its siblings: Inject must only be
+// called from events executing on that engine (or before Run), and
+// Collect only after the engine has drained.
+type Node interface {
+	// Inject delivers one arriving request to the node's RX stage — the
+	// same gate/drop/admit path a standalone run's pump feeds.
+	Inject(req workload.Request)
+	// Backlog reports the number of requests currently inside the
+	// machine — admitted but neither completed nor dropped — the
+	// queue-depth signal blind routing policies steer on. It is the
+	// job-pool out-count, so it is model-generic: it counts the same
+	// thing whether the model parks jobs in dispatcher queues, worker
+	// queues, or a processor-sharing set.
+	Backlog() int
+	// Workers reports the machine's worker-core count, for normalizing
+	// backlog into an expected wait.
+	Workers() int
+	// OnDone registers an observer called with the class and base
+	// service demand of every request leaving the machine — the
+	// completion feed a shortest-expected-wait router builds its
+	// per-class service estimates from. At most one observer; later
+	// calls replace earlier ones.
+	OnDone(fn func(class workload.Class, service sim.Time))
+	// OnDrop registers an observer called with the class of every
+	// request the machine's admission stage sheds, so a router tracking
+	// placed-but-not-retired work can retire drops as well as
+	// completions. At most one observer; later calls replace earlier
+	// ones.
+	OnDrop(fn func(class workload.Class))
+	// Collect finalizes the node's per-machine Result. Call once, after
+	// the shared engine has drained; Result.Events stays zero because
+	// event counts belong to the engine's owner.
+	Collect() *Result
+	// System names the machine model for reports.
+	System() string
+}
+
+// The kernel's machineRun is the universal Node implementation;
+// machine run structs get these methods by embedding.
+
+// Inject implements Node.
+func (k *machineRun) Inject(req workload.Request) { k.inject(req) }
+
+// Backlog implements Node.
+func (k *machineRun) Backlog() int { return k.pool.out }
+
+// Workers implements Node.
+func (k *machineRun) Workers() int { return k.workers }
+
+// OnDone implements Node.
+func (k *machineRun) OnDone(fn func(class workload.Class, service sim.Time)) {
+	k.pool.onPut = func(j *job) { fn(j.class, j.base) }
+}
+
+// OnDrop implements Node.
+func (k *machineRun) OnDrop(fn func(class workload.Class)) {
+	k.onDrop = fn
+}
+
+// Collect implements Node.
+func (k *machineRun) Collect() *Result { return k.met.result(k.system, k.rtt) }
+
+// System implements Node.
+func (k *machineRun) System() string { return k.system }

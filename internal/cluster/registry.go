@@ -1,6 +1,8 @@
 package cluster
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+)
 
 // The registry is the front door to the machine catalogue: every
 // machine model and variant registers a stable name plus constructors
@@ -27,6 +29,32 @@ type Entry struct {
 	// the quantum per workload (Shinjuku runs at its per-workload sweet
 	// spot; §5.1). Nil for machines without a quantum knob.
 	NewQ func(q sim.Time) Machine
+}
+
+// nodeMachine is implemented by machines that can bind to a shared
+// engine as a Node (every kernel-ported machine; see node.go).
+type nodeMachine interface {
+	NewNode(eng *sim.Engine, cfg RunConfig) Node
+}
+
+// CanNode reports whether the entry's machine has a Node form — i.e.
+// whether it can join a multi-machine composition on one shared engine.
+// Every registry machine does except "caladan-ws", whose best-of-both
+// judging needs two complete standalone runs per configuration.
+func (e Entry) CanNode() bool {
+	_, ok := e.New().(nodeMachine)
+	return ok
+}
+
+// NewNode constructs the entry's machine with its calibrated default
+// parameters, bound to the given shared engine as a Node. It panics if
+// the machine has no Node form (CanNode reports false).
+func (e Entry) NewNode(eng *sim.Engine, cfg RunConfig) Node {
+	nm, ok := e.New().(nodeMachine)
+	if !ok {
+		panic("cluster: machine " + e.Name + " cannot run as a node")
+	}
+	return nm.NewNode(eng, cfg)
 }
 
 var registry = struct {

@@ -162,7 +162,7 @@ func (s *Shinjuku) RunMeasured(cfg RunConfig) (*Result, *stats.Sample) {
 	return s.run(cfg)
 }
 
-func (s *Shinjuku) run(cfg RunConfig) (*Result, *stats.Sample) {
+func (s *Shinjuku) newRun() *sjRun {
 	r := &sjRun{
 		m:        s,
 		workers:  make([]sjWorker, s.P.Workers),
@@ -171,12 +171,26 @@ func (s *Shinjuku) run(cfg RunConfig) (*Result, *stats.Sample) {
 	for w := range r.workers {
 		r.idle = append(r.idle, w)
 	}
+	return r
+}
+
+func (s *Shinjuku) run(cfg RunConfig) (*Result, *stats.Sample) {
+	r := s.newRun()
 	// A saturated dispatcher drops packets at the RX ring. The ring
 	// holds incoming requests only — outgoing responses use their own
 	// TX descriptors.
 	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), s.P.RXQueue, 1)
 	res := r.run(s.Name(), s.P.RTT)
 	return res, r.achieved
+}
+
+// NewNode binds the machine to a shared engine as a cluster Node (the
+// rack-fleet form; see Entry.NewNode).
+func (s *Shinjuku) NewNode(eng *sim.Engine, cfg RunConfig) Node {
+	r := s.newRun()
+	r.attach(eng, cfg, r, s.P.RXQueue, 1)
+	r.bind(s.Name(), s.P.Workers, s.P.RTT)
+	return r
 }
 
 // admit implements machinePolicy: the request occupies its RX slot

@@ -100,7 +100,7 @@ func MeasureArrivalPump(n int) PumpMeasurement {
 		warm = 1024
 	}
 	s.haltAt = uint64(warm)
-	r.scheduleNextArrival()
+	r.pump.Start()
 	r.eng.Run() // halts at the warmup count, arrivals stay queued
 
 	var before, after runtime.MemStats

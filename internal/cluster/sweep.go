@@ -12,8 +12,18 @@ import (
 )
 
 // RatesUpTo returns n evenly spaced rates from max/n to max — the
-// standard sweep grid used by the figure drivers.
+// standard sweep grid used by the figure drivers. Degenerate inputs
+// panic: n <= 0 would silently produce an empty grid (and max <= 0 a
+// grid of invalid rates) that every downstream consumer — pointConfig,
+// RunConfig.validate, series extraction — only rejects later, far from
+// the actual mistake.
 func RatesUpTo(max float64, n int) []float64 {
+	if n <= 0 {
+		panic("cluster: RatesUpTo needs n > 0 points")
+	}
+	if max <= 0 {
+		panic("cluster: RatesUpTo needs a positive max rate")
+	}
 	rates := make([]float64, n)
 	for i := range rates {
 		rates[i] = max * float64(i+1) / float64(n)
@@ -98,6 +108,12 @@ type SweepOptions struct {
 // in rate order — identical to Sweep's for any worker count, including
 // Workers=1.
 func ParallelSweep(mf MachineFactory, w *workload.Workload, rates []float64, dur, warm sim.Time, seed uint64, opt SweepOptions) []*Result {
+	if len(rates) == 0 {
+		// An empty grid has no points to run; return before building the
+		// worker pool (workers would clamp to zero and the range over idx
+		// would deadlock-free but pointlessly spin up machinery).
+		return nil
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -161,6 +177,17 @@ func SojournSeries(label, class string, results []*Result) stats.Series {
 	s := stats.Series{Label: label}
 	for _, r := range results {
 		s.Append(r.Config.Rate, r.P999SojournUs(class))
+	}
+	return s
+}
+
+// P99SojournSeries extracts a (rate, p99 sojourn µs) curve for one
+// class — the coarser-tail companion to SojournSeries, which rack
+// routing comparisons plot side by side with the p99.9 curve.
+func P99SojournSeries(label, class string, results []*Result) stats.Series {
+	s := stats.Series{Label: label}
+	for _, r := range results {
+		s.Append(r.Config.Rate, r.P99SojournUs(class))
 	}
 	return s
 }

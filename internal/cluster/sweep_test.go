@@ -105,6 +105,28 @@ func TestParallelSweepProgress(t *testing.T) {
 	}
 }
 
+func TestRatesUpToRejectsDegenerateInputs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		max  float64
+		n    int
+	}{
+		{"zero points", 1e6, 0},
+		{"negative points", 1e6, -3},
+		{"zero max", 0, 4},
+		{"negative max", -1e6, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RatesUpTo(%v, %d) did not panic", tc.max, tc.n)
+				}
+			}()
+			RatesUpTo(tc.max, tc.n)
+		})
+	}
+}
+
 func TestParallelSweepEmptyGrid(t *testing.T) {
 	w := workload.HighBimodal()
 	out := ParallelSweep(tqFactory, w, nil, sweepDur, sweepWarm, 1, SweepOptions{})

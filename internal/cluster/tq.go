@@ -186,7 +186,12 @@ func (t *TQ) RunMeasured(cfg RunConfig) (*Result, *stats.Sample) {
 	return t.run(cfg)
 }
 
-func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
+// newRun builds the run struct and the workload generator. The RNG
+// draw order here is part of the machine's identity: balancer splits
+// first, then the workload generator's split — node construction keeps
+// the generator draw (and discards it) so both forms see the same
+// per-seed stream layout.
+func (t *TQ) newRun(cfg RunConfig) (*tqRun, *workload.Generator) {
 	r := &tqRun{
 		m:       t,
 		rand:    rng.New(cfg.Seed),
@@ -196,8 +201,6 @@ func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
 	for i := range r.workers {
 		r.workers[i].idle = t.P.Coroutines
 	}
-	// RNG draw order is part of the machine's identity: balancer splits
-	// first, then the workload generator's split.
 	switch t.P.Balancer {
 	case BalanceJSQMSQ:
 		r.bal = core.NewJSQ(core.MSQ{})
@@ -218,9 +221,24 @@ func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
 		nDisp = 1
 	}
 	r.dispBusyUntil = make([]sim.Time, nDisp)
-	r.init(cfg, r, gen, t.P.RXQueue, nDisp)
+	return r, gen
+}
+
+func (t *TQ) run(cfg RunConfig) (*Result, *stats.Sample) {
+	r, gen := t.newRun(cfg)
+	r.init(cfg, r, gen, t.P.RXQueue, len(r.dispBusyUntil))
 	res := r.run(t.name, t.P.RTT)
 	return res, r.achieved
+}
+
+// NewNode binds the machine to a shared engine as a cluster Node (the
+// rack-fleet form; see Entry.NewNode). The node draws no arrivals of
+// its own — the embedding layer injects them.
+func (t *TQ) NewNode(eng *sim.Engine, cfg RunConfig) Node {
+	r, _ := t.newRun(cfg)
+	r.attach(eng, cfg, r, t.P.RXQueue, len(r.dispBusyUntil))
+	r.bind(t.name, t.P.Workers, t.P.RTT)
+	return r
 }
 
 // emit records a trace event when tracing is enabled.
@@ -254,6 +272,10 @@ func (r *tqRun) admitLane(req workload.Request) int {
 	}
 	return 0
 }
+
+// dropCore implements machinePolicy: TQ's RX lanes are dispatcher
+// rings, which all share the timeline's one dispatcher track.
+func (r *tqRun) dropCore(int) int32 { return obs.CoreDispatcher }
 
 // inflate implements machinePolicy: compiler-inserted probes tax every
 // job's service time by ProbeOverhead.

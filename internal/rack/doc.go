@@ -1,0 +1,38 @@
+// Package rack is the inter-server scheduling layer: a routing plane
+// over a fleet of simulated machines sharing one arrival stream.
+//
+// TQ (the paper's system) schedules blindly *within* one server;
+// RackSched-style systems add the layer above — a microsecond-scale
+// scheduler that routes each request to one of N machines, each running
+// an intra-server scheduler underneath. This package composes that
+// layer out of parts the repository already has: every registry machine
+// that can bind to a shared engine (cluster.Entry.NewNode) becomes one
+// node of a Fleet, the cluster kernel's arrival pump drives the shared
+// open-loop stream, and a Router picks the node for each request from
+// per-machine load signals (queue depth, class labels, learned
+// per-class service estimates — never a request's actual service
+// demand).
+//
+// The layering mirrors the single-machine design one level up:
+//
+//	Fleet.Run        — cluster.Machine over the whole rack, so sweep
+//	                   drivers treat a 10-machine fleet exactly like
+//	                   one machine (rate grids, parallel sweeps,
+//	                   per-point seeds all compose unchanged)
+//	Router           — the per-policy seam: random, round-robin,
+//	                   power-of-two-choices, least-loaded, RSS
+//	                   affinity, shortest-expected-wait
+//	cluster.Node     — per-machine admission, drop accounting, and
+//	                   obs emission, inherited from the kernel
+//
+// Conservation holds fleet-wide by construction: every machine
+// preserves Offered == Completed + Dropped, the fleet result sums the
+// per-machine counts, and the identity survives the sum.
+//
+// Timelines carry a machine dimension. With a recorder attached, each
+// node's worker cores are shifted into a disjoint band of
+// MachineCoreStride cores (machine i owns [i*stride, (i+1)*stride)),
+// so one shared timeline shows cross-machine placement and still
+// satisfies the obs grammar; Fleet.Trace instead records one
+// obs.Process per machine for side-by-side Perfetto rendering.
+package rack

@@ -1,0 +1,261 @@
+package rack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// View is the router's window onto fleet state at routing time. All of
+// it is blind: queue depths and worker counts, never a request's actual
+// service demand. Policies may additionally read the arriving request's
+// class label and learn per-class service estimates from completions
+// (as RackSched types requests) — but nothing reveals an individual
+// request's demand before it runs.
+type View interface {
+	// Machines is the fleet size.
+	Machines() int
+	// Backlog reports machine m's in-flight request count (admitted,
+	// not yet completed) — the queue-depth signal.
+	Backlog(m int) int
+	// Workers reports machine m's worker-core count, for normalizing
+	// backlog into an expected wait.
+	Workers(m int) int
+}
+
+// Router picks the destination machine for each arriving request. A
+// router may keep state (round-robin cursors, EWMA estimates); a Fleet
+// run constructs a fresh router, so runs stay independent and
+// deterministic.
+type Router interface {
+	// Route returns the machine index in [0, v.Machines()) for req.
+	Route(req workload.Request, v View) int
+	// Name is the policy's stable key, as accepted by NewRouter.
+	Name() string
+}
+
+// feedbackObserver is the optional Router extension for policies that
+// learn from per-machine outcomes: done receives the class and base
+// service demand of every completion, dropped the class of every
+// admission drop — together they retire everything the router placed.
+type feedbackObserver interface {
+	done(machine int, class workload.Class, service sim.Time)
+	dropped(machine int, class workload.Class)
+}
+
+// RouterNames lists the built-in routing policies in presentation
+// order.
+func RouterNames() []string {
+	return []string{"random", "rr", "p2c", "least", "rss", "sew"}
+}
+
+// NewRouter constructs the named routing policy. Randomized policies
+// draw from r; deterministic ones ignore it. Unknown names error with
+// the known catalogue.
+func NewRouter(name string, r *rng.Rand) (Router, error) {
+	switch name {
+	case "random":
+		return &randomRouter{r: r}, nil
+	case "rr":
+		return &rrRouter{}, nil
+	case "p2c":
+		return &p2cRouter{r: r}, nil
+	case "least":
+		return &leastRouter{}, nil
+	case "rss":
+		return &rssRouter{}, nil
+	case "sew":
+		return newSEWRouter(), nil
+	}
+	known := ""
+	for i, n := range RouterNames() {
+		if i > 0 {
+			known += ", "
+		}
+		known += n
+	}
+	return nil, fmt.Errorf("rack: unknown routing policy %q (known: %s)", name, known)
+}
+
+// randomRouter sprays requests uniformly at random — the baseline every
+// load-aware policy must beat.
+type randomRouter struct{ r *rng.Rand }
+
+func (rt *randomRouter) Route(_ workload.Request, v View) int { return rt.r.Intn(v.Machines()) }
+func (rt *randomRouter) Name() string                         { return "random" }
+
+// rrRouter deals requests round-robin — oblivious to load, but perfectly
+// even in counts.
+type rrRouter struct{ next int }
+
+func (rt *rrRouter) Route(_ workload.Request, v View) int {
+	m := rt.next % v.Machines()
+	rt.next = m + 1
+	return m
+}
+func (rt *rrRouter) Name() string { return "rr" }
+
+// p2cRouter samples two machines uniformly and routes to the one with
+// the smaller backlog — the classic power-of-two-choices scheme, which
+// gets most of least-loaded's benefit from two probes instead of a
+// full scan.
+type p2cRouter struct{ r *rng.Rand }
+
+func (rt *p2cRouter) Route(_ workload.Request, v View) int {
+	n := v.Machines()
+	a := rt.r.Intn(n)
+	b := rt.r.Intn(n)
+	if v.Backlog(b) < v.Backlog(a) {
+		return b
+	}
+	return a
+}
+func (rt *p2cRouter) Name() string { return "p2c" }
+
+// leastRouter scans the whole fleet and routes to the machine with the
+// smallest backlog, lowest index winning ties — the strongest pure
+// queue-depth policy, at the cost of a full scan per request.
+type leastRouter struct{}
+
+func (leastRouter) Route(_ workload.Request, v View) int {
+	best, bestDepth := 0, v.Backlog(0)
+	for m := 1; m < v.Machines(); m++ {
+		if d := v.Backlog(m); d < bestDepth {
+			best, bestDepth = m, d
+		}
+	}
+	return best
+}
+func (leastRouter) Name() string { return "least" }
+
+// rssRouter hashes the request ID to a machine, like NIC RSS steering
+// one level down: affinity without state, blind to load.
+type rssRouter struct{ rss core.RSS }
+
+func (rt *rssRouter) Route(req workload.Request, v View) int {
+	return rt.rss.Steer(req.ID, v.Machines())
+}
+func (rt *rssRouter) Name() string { return "rss" }
+
+// sewRouter is the RackSched-style shortest-expected-wait policy. Like
+// RackSched it types requests by class (a label, never the request's
+// actual service demand) and learns each class's mean service time from
+// an EWMA over observed completions; per machine it tracks the class
+// mix of what it has placed there and not yet seen retire. A request of
+// class c goes to the machine minimizing
+//
+//	(backlog × mix-weighted EWMA(service) + EWMA_c) / workers
+//
+// — the expected time until the machine would get to it. Queue depth
+// comes from the live View (ground truth, immune to tracking drift);
+// the class mix converts that depth into expected *work*, which is what
+// separates sew from least-loaded on bimodal workloads: one queued
+// 500µs job outweighs dozens of queued 1µs jobs. Before any class has
+// completed anywhere, estimates degrade to 1 and the score reduces to
+// normalized queue depth, so a cold fleet behaves like least-loaded.
+type sewRouter struct {
+	est     []float64 // per-class EWMA of observed service, ns; 0 = unknown
+	overall float64   // EWMA over all completions — fallback for unseen classes
+	queued  [][]int   // [machine][class] placed-but-not-retired counts
+}
+
+func newSEWRouter() *sewRouter { return &sewRouter{} }
+
+// sewAlpha is the EWMA weight of each new observation: 1/16 smooths
+// over stochastic classes' service-time spread while still tracking
+// drift within a few hundred completions.
+const sewAlpha = 1.0 / 16
+
+func (rt *sewRouter) done(machine int, class workload.Class, service sim.Time) {
+	rt.bump(&rt.overall, float64(service))
+	c := int(class)
+	for c >= len(rt.est) {
+		rt.est = append(rt.est, 0)
+	}
+	rt.bump(&rt.est[c], float64(service))
+	rt.retire(machine, c)
+}
+
+func (rt *sewRouter) dropped(machine int, class workload.Class) {
+	rt.retire(machine, int(class))
+}
+
+func (rt *sewRouter) bump(ewma *float64, v float64) {
+	if *ewma == 0 {
+		*ewma = v
+		return
+	}
+	*ewma += sewAlpha * (v - *ewma)
+}
+
+func (rt *sewRouter) retire(machine, class int) {
+	if machine < len(rt.queued) && class < len(rt.queued[machine]) && rt.queued[machine][class] > 0 {
+		rt.queued[machine][class]--
+	}
+}
+
+func (rt *sewRouter) place(machine, class int) {
+	for machine >= len(rt.queued) {
+		rt.queued = append(rt.queued, nil)
+	}
+	for class >= len(rt.queued[machine]) {
+		rt.queued[machine] = append(rt.queued[machine], 0)
+	}
+	rt.queued[machine][class]++
+}
+
+func (rt *sewRouter) Route(req workload.Request, v View) int {
+	c := int(req.Class)
+	best, bestScore := 0, rt.score(0, c, v)
+	for m := 1; m < v.Machines(); m++ {
+		if s := rt.score(m, c, v); s < bestScore {
+			best, bestScore = m, s
+		}
+	}
+	rt.place(best, c)
+	return best
+}
+
+func (rt *sewRouter) score(m, class int, v View) float64 {
+	return (float64(v.Backlog(m))*rt.mixEst(m) + rt.classEst(class)) / float64(v.Workers(m))
+}
+
+// classEst is class c's learned mean service time, falling back to the
+// all-class mean and then to a unit cost while cold.
+func (rt *sewRouter) classEst(c int) float64 {
+	if c < len(rt.est) && rt.est[c] > 0 {
+		return rt.est[c]
+	}
+	if rt.overall > 0 {
+		return rt.overall
+	}
+	return 1
+}
+
+// mixEst is the expected service time of one queued request on machine
+// m, weighted by the class mix the router has placed there and not yet
+// seen retire; with nothing tracked it falls back like classEst.
+func (rt *sewRouter) mixEst(m int) float64 {
+	if m < len(rt.queued) {
+		var work float64
+		var n int
+		for c, k := range rt.queued[m] {
+			if k > 0 {
+				work += float64(k) * rt.classEst(c)
+				n += k
+			}
+		}
+		if n > 0 {
+			return work / float64(n)
+		}
+	}
+	if rt.overall > 0 {
+		return rt.overall
+	}
+	return 1
+}
+
+func (rt *sewRouter) Name() string { return "sew" }
