@@ -20,6 +20,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -44,24 +45,59 @@ func main() {
 }
 
 // checkDir parses one package directory (tests excluded — their
-// exported helpers are not godoc surface) and reports each exported
+// exported helpers are not godoc surface) and prints each exported
 // declaration that lacks a doc comment.
 func checkDir(dir string) (bad int, err error) {
+	viols, err := dirViolations(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range viols {
+		fmt.Printf("%s:%d: %s\n", filepath.ToSlash(v.File), v.Line, v.What)
+	}
+	return len(viols), nil
+}
+
+// violation is one undocumented exported identifier.
+type violation struct {
+	File string
+	Line int
+	What string
+}
+
+// dirViolations collects the violations of one package directory in
+// deterministic order: parser.ParseDir returns maps (package name →
+// package, file name → file), so both levels are iterated through
+// sorted key slices — otherwise two identical runs print diagnostics
+// in different orders.
+func dirViolations(dir string) ([]violation, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
 		return !strings.HasSuffix(fi.Name(), "_test.go")
 	}, parser.ParseComments)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
+	var out []violation
 	report := func(pos token.Pos, what string) {
 		p := fset.Position(pos)
-		fmt.Printf("%s:%d: %s\n", filepath.ToSlash(p.Filename), p.Line, what)
-		bad++
+		out = append(out, violation{File: p.Filename, Line: p.Line, What: what})
 	}
-	for _, pkg := range pkgs {
+	pkgNames := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		pkgNames = append(pkgNames, name)
+	}
+	sort.Strings(pkgNames)
+	for _, pkgName := range pkgNames {
+		pkg := pkgs[pkgName]
+		fileNames := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			fileNames = append(fileNames, name)
+		}
+		sort.Strings(fileNames)
 		hasPkgDoc := false
-		for _, f := range pkg.Files {
+		for _, fname := range fileNames {
+			f := pkg.Files[fname]
 			if f.Doc != nil {
 				hasPkgDoc = true
 			}
@@ -77,15 +113,11 @@ func checkDir(dir string) (bad int, err error) {
 			}
 		}
 		if !hasPkgDoc {
-			// Anchor the complaint to any file of the package.
-			for name, f := range pkg.Files {
-				_ = name
-				report(f.Package, "package "+pkg.Name+" has no package comment")
-				break
-			}
+			// Anchor the complaint to the first file of the package.
+			report(pkg.Files[fileNames[0]].Package, "package "+pkgName+" has no package comment")
 		}
 	}
-	return bad, nil
+	return out, nil
 }
 
 // isExportedMethodOfUnexported reports whether d is a method on an

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeFixture lays out a package directory with undocumented exported
+// identifiers spread across several files, so violations exercise the
+// package-map and file-map iteration paths.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.go": "package p\n\nfunc AlphaUndocumented() {}\n",
+		"b.go": "package p\n\nvar BetaUndocumented int\n",
+		"c.go": "package p\n\ntype GammaUndocumented struct{}\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestDirViolationsDeterministic is the run-twice regression test for
+// the map-order bug simvet's maporder analyzer flagged here:
+// parser.ParseDir returns maps, and iterating them directly printed
+// diagnostics in a different order on every run.
+func TestDirViolationsDeterministic(t *testing.T) {
+	dir := writeFixture(t)
+	first, err := dirViolations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := dirViolations(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d: violation order changed:\nfirst: %v\nagain: %v", i, first, again)
+		}
+	}
+}
+
+// TestDirViolationsSortedByFile pins the order contract itself: one
+// violation per file plus the missing package comment anchored to the
+// alphabetically first file, in file order.
+func TestDirViolationsSortedByFile(t *testing.T) {
+	dir := writeFixture(t)
+	viols, err := dirViolations(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, v := range viols {
+		got = append(got, filepath.Base(v.File)+": "+v.What)
+	}
+	want := []string{
+		"a.go: exported function AlphaUndocumented is undocumented",
+		"b.go: exported var BetaUndocumented is undocumented",
+		"c.go: exported type GammaUndocumented is undocumented",
+		"a.go: package p has no package comment",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}

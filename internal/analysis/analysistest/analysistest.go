@@ -1,0 +1,115 @@
+// Package analysistest is a small fixture harness for the repo's
+// analyzers (tqvet, simvet), in the style of
+// golang.org/x/tools/go/analysis/analysistest but stdlib-only.
+//
+// Fixture sources carry expectations as `// want "re"` comments: each
+// diagnostic reported on a line must match one of that line's want
+// regexes, each want regex must be matched by exactly one diagnostic,
+// and diagnostics on lines with no want comment fail the test. This
+// makes suppression behaviour testable: a fixture with an ignore
+// marker and no want comment proves the marker eats the finding.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// RunFunc adapts an analyzer entry point to the harness: parse state
+// in, (pos, text) findings out. Text is what want regexes match.
+type RunFunc func(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, text string)) error
+
+// wantRe extracts the quoted regexes of a `// want "re1" "re2"` comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hits int
+}
+
+// Run parses the given sources (name → Go source), applies run, and
+// checks every reported diagnostic against the want expectations.
+func Run(t *testing.T, sources map[string]string, run RunFunc) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var wants []*want
+	for _, name := range names {
+		src := sources[name]
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(src, "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			spec := line[idx+len("// want "):]
+			ms := wantRe.FindAllStringSubmatch(spec, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed want comment (no quoted regex): %s", name, i+1, line)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", name, i+1, m[1], err)
+				}
+				wants = append(wants, &want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+
+	type finding struct {
+		file string
+		line int
+		text string
+	}
+	var got []finding
+	err := run(fset, files, func(pos token.Pos, text string) {
+		p := fset.Position(pos)
+		got = append(got, finding{file: p.Filename, line: p.Line, text: text})
+	})
+	if err != nil {
+		t.Fatalf("analyzer error: %v", err)
+	}
+
+	for _, g := range got {
+		matched := false
+		for _, w := range wants {
+			if w.file == g.file && w.line == g.line && w.hits == 0 && w.re.MatchString(g.text) {
+				w.hits++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", g.file, g.line, g.text)
+		}
+	}
+	for _, w := range wants {
+		if w.hits == 0 {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// Format renders a diagnostic triple in the shape the fixtures match:
+// "analyzer: category: message".
+func Format(analyzer, category, message string) string {
+	return fmt.Sprintf("%s: %s: %s", analyzer, category, message)
+}

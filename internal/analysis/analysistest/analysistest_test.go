@@ -1,0 +1,41 @@
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+// TestWantMatching exercises the harness round trip: a run function
+// that reports on exactly the lines carrying want comments passes, with
+// multiple wants on one line each matched once.
+func TestWantMatching(t *testing.T) {
+	src := `package p
+
+func a() {} // want "first finding"
+
+func b() {} // want "second" "third"
+`
+	Run(t, map[string]string{"p.go": src}, func(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, text string)) error {
+		for _, f := range files {
+			for _, decl := range f.Decls {
+				fn := decl.(*ast.FuncDecl)
+				switch fn.Name.Name {
+				case "a":
+					report(fn.Pos(), "first finding here")
+				case "b":
+					report(fn.Pos(), "second one")
+					report(fn.Pos(), "and a third one")
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestFormat pins the diagnostic text shape fixtures match against.
+func TestFormat(t *testing.T) {
+	if got := Format("simvet", "wall-clock", "time.Now reads"); got != "simvet: wall-clock: time.Now reads" {
+		t.Fatalf("Format = %q", got)
+	}
+}

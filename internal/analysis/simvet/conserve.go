@@ -1,0 +1,190 @@
+package simvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// conservedFields are the Result counters bound by the conservation
+// law Offered == Completed + Dropped.
+var conservedFields = map[string]bool{
+	"Completed": true, "Dropped": true, "Offered": true,
+}
+
+// Conserve flags mutation of the conserved Result counters
+// (Completed, Dropped, Offered) outside designated accounting helpers.
+// The conservation law Offered == Completed + Dropped holds because
+// exactly the kernel and admission paths account each request once;
+// any other writer can break it silently. Functions that legitimately
+// account — the kernel result assembly, admission bookkeeping, the
+// rack fleet merge — carry a `//simvet:accounting` marker.
+//
+// Result-ness is inferred syntactically: variables declared or
+// received as Result / *Result / cluster.Result, composites built from
+// Result{...} literals, and elements of []Result / []*Result slices.
+var Conserve = &Analyzer{
+	Name: "conserve",
+	Doc:  "flag Result counter mutation outside accounting helpers",
+	Run:  runConserve,
+}
+
+func runConserve(pass *Pass) error {
+	for _, file := range pass.Files {
+		accounting := markedFuncs(pass.Fset, file, "simvet:accounting")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || accounting[fn] {
+				continue
+			}
+			checkConserve(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isResultType matches Result, *Result, pkg.Result, *pkg.Result.
+func isResultType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return isResultType(t.X)
+	case *ast.ParenExpr:
+		return isResultType(t.X)
+	case *ast.Ident:
+		return t.Name == "Result"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Result"
+	}
+	return false
+}
+
+// isResultSliceType matches []Result and []*Result (qualified or not).
+func isResultSliceType(e ast.Expr) bool {
+	at, ok := e.(*ast.ArrayType)
+	return ok && isResultType(at.Elt)
+}
+
+// isResultComposite matches Result{...} and &Result{...} construction.
+func isResultComposite(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.UnaryExpr:
+		return v.Op == token.AND && isResultComposite(v.X)
+	case *ast.CompositeLit:
+		return v.Type != nil && isResultType(v.Type)
+	}
+	return false
+}
+
+func checkConserve(pass *Pass, fn *ast.FuncDecl) {
+	resultVars := map[string]bool{}
+	resultSlices := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				switch {
+				case isResultType(f.Type):
+					resultVars[n.Name] = true
+				case isResultSliceType(f.Type):
+					resultSlices[n.Name] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	addFields(fn.Type.Params)
+	addFields(fn.Type.Results)
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if s.Type != nil && isResultType(s.Type) {
+					resultVars[name.Name] = true
+				}
+				if s.Type != nil && isResultSliceType(s.Type) {
+					resultSlices[name.Name] = true
+				}
+				if i < len(s.Values) && isResultComposite(s.Values[i]) {
+					resultVars[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				break
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isResultComposite(s.Rhs[i]) {
+					resultVars[id.Name] = true
+				}
+				if cl, ok := s.Rhs[i].(*ast.CompositeLit); ok && cl.Type != nil && isResultSliceType(cl.Type) {
+					resultSlices[id.Name] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if x, ok := s.X.(*ast.Ident); ok && resultSlices[x.Name] {
+				if v, ok := s.Value.(*ast.Ident); ok && v.Name != "_" {
+					resultVars[v.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	flag := func(pos token.Pos, field, base string) {
+		pass.Report(Diagnostic{
+			Pos:      pos,
+			Analyzer: "conserve",
+			Category: "result-mutation",
+			Message: fmt.Sprintf("Result.%s mutated on %s outside an accounting helper; Offered == Completed + Dropped holds only if the kernel and admission paths account each request exactly once",
+				field, base),
+			Suggestion: "route the update through the kernel/admission accounting, or mark the enclosing function //simvet:accounting if it legitimately merges counters",
+		})
+	}
+	check := func(pos token.Pos, lhs ast.Expr) {
+		sel, ok := lhs.(*ast.SelectorExpr)
+		if !ok || !conservedFields[sel.Sel.Name] {
+			return
+		}
+		base := sel.X
+		fromSlice := false
+		for done := false; !done; {
+			switch v := base.(type) {
+			case *ast.ParenExpr:
+				base = v.X
+			case *ast.StarExpr:
+				base = v.X
+			case *ast.IndexExpr:
+				base = v.X
+				fromSlice = true
+			default:
+				done = true
+			}
+		}
+		id, ok := base.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if resultVars[id.Name] || (fromSlice && resultSlices[id.Name]) {
+			flag(pos, sel.Sel.Name, id.Name)
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				check(s.Pos(), lhs)
+			}
+		case *ast.IncDecStmt:
+			check(s.Pos(), s.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,29 @@
+// Package simvet statically checks the simulator's own load-bearing
+// invariants, the same way internal/verify and tqvet check task
+// programs: determinism and hot-path discipline are enforced at
+// analysis time instead of discovered by flaky reruns.
+//
+// The suite holds four analyzers, run together by Analyze and wired
+// into CI through cmd/simvet:
+//
+//   - nondeterm: wall-clock reads (time.Now/Since) and math/rand in
+//     the simulator packages (internal/sim, internal/cluster,
+//     internal/rack, internal/workload), where all randomness must be
+//     threaded through internal/rng so reruns are bit-identical.
+//   - maporder: order-sensitive work inside range-over-map loops —
+//     appends without a following sort, ordered output, obs emission,
+//     Result merging, first-match returns — Go's randomized map order
+//     makes each differ run to run.
+//   - hotalloc: allocation sources (closure captures, interface
+//     boxing, unpreallocated append growth) inside functions marked
+//     //simvet:hotpath, extending the PR 6 zero-alloc guard test to a
+//     checked annotation.
+//   - conserve: mutation of the conserved Result counters (Offered,
+//     Completed, Dropped) outside functions marked
+//     //simvet:accounting, protecting Offered == Completed + Dropped.
+//
+// Findings are suppressed by `//simvet:ignore <why>` on the flagged
+// line or the line above; ignores that suppress nothing are themselves
+// reported as stale. Everything is built on go/ast and go/token only —
+// no external analysis framework — following the tqvet idiom.
+package simvet

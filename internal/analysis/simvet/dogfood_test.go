@@ -1,0 +1,79 @@
+package simvet_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/simvet"
+)
+
+// TestDogfoodRepoClean runs the full simvet suite over every package
+// of this module, mirroring the CI `go run ./cmd/simvet ./...` gate:
+// the repo's own sources must produce zero unsuppressed findings, so
+// cleanliness is enforced by `go test` too, not only by CI wiring.
+func TestDogfoodRepoClean(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass := &simvet.Pass{
+			Fset: fset,
+			Path: filepath.ToSlash(rel),
+			Report: func(d simvet.Diagnostic) {
+				p := fset.Position(d.Pos)
+				t.Errorf("%s:%d: %s: %s: %s", p.Filename, p.Line, d.Analyzer, d.Category, d.Message)
+			},
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parse %s: %v", filepath.Join(dir, e.Name()), err)
+			}
+			pass.Files = append(pass.Files, f)
+		}
+		if len(pass.Files) == 0 {
+			continue
+		}
+		checked++
+		if err := simvet.Analyze(pass); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("dogfood only reached %d packages; walk is broken", checked)
+	}
+}

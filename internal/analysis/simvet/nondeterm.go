@@ -1,0 +1,112 @@
+package simvet
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// simScopePaths are the packages whose code must be a pure function of
+// (config, seed): the simulator core, the machine models, the rack
+// routing plane, and the workload generators. Wall-clock reads and
+// untracked RNG there silently decorrelate reruns — the bug class that
+// makes a hypothesis verdict unreproducible.
+var simScopePaths = []string{
+	"internal/sim",
+	"internal/cluster",
+	"internal/rack",
+	"internal/workload",
+}
+
+// inSimScope reports whether a package directory path falls inside the
+// determinism-scoped package set.
+func inSimScope(path string) bool {
+	p := strings.TrimPrefix(strings.TrimSuffix(path, "/"), "./")
+	for _, s := range simScopePaths {
+		if p == s || strings.HasSuffix(p, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Nondeterm flags nondeterminism sources inside the simulator packages:
+// wall-clock reads (time.Now, time.Since) and math/rand in any form —
+// the package-global generator and locally constructed ones alike. All
+// simulator randomness must flow through internal/rng, seeded from the
+// run configuration (rng.New, rng.PointSeed), so that two runs of the
+// same config are bit-identical.
+var Nondeterm = &Analyzer{
+	Name: "nondeterm",
+	Doc:  "flag wall-clock reads and non-rng randomness in simulator packages",
+	Run:  runNondeterm,
+}
+
+func runNondeterm(pass *Pass) error {
+	if !inSimScope(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		timeName := importName(file, "time")
+		randName := importName(file, "math/rand")
+		randV2 := importName(file, "math/rand/v2")
+		if randName == "" {
+			randName = randV2
+		}
+		if randName != "" {
+			for _, imp := range file.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == "math/rand" || p == "math/rand/v2" {
+					pass.Report(Diagnostic{
+						Pos:        imp.Pos(),
+						Analyzer:   "nondeterm",
+						Category:   "math-rand",
+						Message:    "math/rand in a simulator package: its generators are not threaded through the run seed",
+						Suggestion: "draw from internal/rng instead: r := rng.New(rng.PointSeed(cfg.Seed, i))",
+					})
+				}
+			}
+		}
+		if timeName == "" && randName == "" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch {
+			case timeName != "" && base.Name == timeName && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+				pass.Report(Diagnostic{
+					Pos:        call.Pos(),
+					Analyzer:   "nondeterm",
+					Category:   "wall-clock",
+					Message:    fmt.Sprintf("%s.%s reads the wall clock inside a simulator package; simulated time must come from the engine clock", timeName, sel.Sel.Name),
+					Suggestion: "use the sim.Engine clock (Engine.Now) or take the timestamp as a parameter; suppress with //simvet:ignore <why> for host-side telemetry",
+				})
+			case randName != "" && base.Name == randName:
+				what := "draws from the package-global generator, which is shared, unseeded state"
+				if strings.HasPrefix(sel.Sel.Name, "New") {
+					what = "constructs a generator outside internal/rng, so its stream is invisible to the seed plumbing"
+				}
+				pass.Report(Diagnostic{
+					Pos:        call.Pos(),
+					Analyzer:   "nondeterm",
+					Category:   "math-rand",
+					Message:    fmt.Sprintf("%s.%s %s", randName, sel.Sel.Name, what),
+					Suggestion: "draw from internal/rng instead: r := rng.New(rng.PointSeed(cfg.Seed, i))",
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}

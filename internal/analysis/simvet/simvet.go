@@ -1,0 +1,254 @@
+package simvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Pos token.Pos
+	// Analyzer names the analyzer that produced the finding ("nondeterm",
+	// "maporder", "hotalloc", "conserve", or "simvet" for framework
+	// findings such as stale ignores).
+	Analyzer string
+	// Category is the finding class within the analyzer, stable for
+	// tooling ("wall-clock", "map-order-append", ...).
+	Category string
+	// Message explains the finding.
+	Message string
+	// Suggestion, when non-empty, is a cheap suggested edit: what the
+	// code should look like instead. Drivers print it alongside the
+	// finding (-json carries it verbatim).
+	Suggestion string
+}
+
+// Pass holds the per-package inputs and the report sink, in the style
+// of go/analysis but self-contained (no module dependencies).
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the package directory in slash form ("internal/sim");
+	// scope-limited analyzers (nondeterm) consult it. Drivers set it to
+	// the directory argument; an empty path disables scoped analyzers.
+	Path  string
+	Files []*ast.File
+	// Report receives each finding. Analyze wraps it with suppression
+	// handling; analyzers call the wrapped sink.
+	Report func(Diagnostic)
+}
+
+// Analyzer describes one check, go/analysis-style.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Analyzers lists the full simvet suite in reporting order.
+var Analyzers = []*Analyzer{Nondeterm, Maporder, Hotalloc, Conserve}
+
+// Analyze runs the given analyzers (default: all of Analyzers) over one
+// package with `//simvet:ignore <why>` suppression: a marker on the
+// finding's line or the line above suppresses it. Ignore markers that
+// suppress nothing are themselves reported (category "stale-ignore"),
+// so suppressions cannot silently outlive the code they excused.
+func Analyze(pass *Pass, analyzers ...*Analyzer) error {
+	if len(analyzers) == 0 {
+		analyzers = Analyzers
+	}
+	type ignoreMark struct {
+		pos  token.Pos
+		used bool
+	}
+	// file → line → marker, for the files of this package.
+	ignores := map[string]map[int]*ignoreMark{}
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if isIgnoreMarker(c.Text) {
+					if ignores[fname] == nil {
+						ignores[fname] = map[int]*ignoreMark{}
+					}
+					ignores[fname][pass.Fset.Position(c.Pos()).Line] = &ignoreMark{pos: c.Pos()}
+				}
+			}
+		}
+	}
+	outer := pass.Report
+	filtered := *pass
+	filtered.Report = func(d Diagnostic) {
+		p := pass.Fset.Position(d.Pos)
+		if marks := ignores[p.Filename]; marks != nil {
+			if m := marks[p.Line]; m != nil {
+				m.used = true
+				return
+			}
+			if m := marks[p.Line-1]; m != nil {
+				m.used = true
+				return
+			}
+		}
+		outer(d)
+	}
+	for _, a := range analyzers {
+		if err := a.Run(&filtered); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	for _, marks := range ignores {
+		for _, m := range marks {
+			if !m.used {
+				outer(Diagnostic{
+					Pos:      m.pos,
+					Analyzer: "simvet",
+					Category: "stale-ignore",
+					Message:  "simvet:ignore suppresses no finding; delete it (stale suppressions hide future regressions)",
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// isIgnoreMarker reports whether a comment IS a suppression marker —
+// its text starts with //simvet:ignore — as opposed to prose that
+// merely mentions the marker (doc comments describing the convention
+// must not become markers themselves).
+func isIgnoreMarker(text string) bool {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	return strings.HasPrefix(strings.TrimSpace(text), "simvet:ignore")
+}
+
+// --- shared syntax helpers --------------------------------------------
+
+// importName returns the local name under which file imports the given
+// path, or "" when it does not (blank and dot imports count as absent:
+// neither produces a selector the analyzers can flag).
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			return ""
+		}
+		return name
+	}
+	return ""
+}
+
+// markedFuncs returns the function declarations carrying the given
+// marker ("simvet:hotpath", "simvet:accounting") in their doc comment
+// or on the line directly above the declaration.
+func markedFuncs(fset *token.FileSet, file *ast.File, marker string) map[*ast.FuncDecl]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	out := map[*ast.FuncDecl]bool{}
+	if len(lines) == 0 {
+		return out
+	}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		declLine := fset.Position(fn.Pos()).Line
+		from := declLine - 1
+		if fn.Doc != nil {
+			from = fset.Position(fn.Doc.Pos()).Line
+		}
+		for l := from; l <= declLine; l++ {
+			if lines[l] {
+				out[fn] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// exprText renders a short expression for diagnostics (best effort).
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "()"
+	case *ast.ParenExpr:
+		return "(" + exprText(x.X) + ")"
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprText(x.X)
+	}
+	return "expr"
+}
+
+// isMapType reports whether a type expression is syntactically a map.
+func isMapType(e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ParenExpr:
+		return isMapType(t.X)
+	}
+	return false
+}
+
+// identsIn collects every identifier referenced under n into out.
+func identsIn(n ast.Node, out map[string]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			// Only the base of a selector is a variable reference; the
+			// Sel half is a field or method name.
+			identsIn(sel.X, out)
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+}
+
+// referencesAny reports whether n references any identifier in names.
+func referencesAny(n ast.Node, names map[string]bool) bool {
+	if len(names) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			if referencesAny(sel.X, names) {
+				found = true
+			}
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && names[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,101 @@
+package simvet_test
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simvet"
+)
+
+// adapt runs the full simvet suite (suppression included) under the
+// given package path and reports in the "analyzer: category: message"
+// shape the fixtures match.
+func adapt(path string) analysistest.RunFunc {
+	return func(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, text string)) error {
+		pass := &simvet.Pass{
+			Fset:  fset,
+			Path:  path,
+			Files: files,
+			Report: func(d simvet.Diagnostic) {
+				report(d.Pos, analysistest.Format(d.Analyzer, d.Category, d.Message))
+			},
+		}
+		return simvet.Analyze(pass)
+	}
+}
+
+// runFixture checks one testdata file against its own want comments,
+// under the full suite so fixtures also prove the analyzers don't
+// cross-fire on each other's cases.
+func runFixture(t *testing.T, path, file string) {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysistest.Run(t, map[string]string{file: string(src)}, adapt(path))
+}
+
+func TestNondetermFixture(t *testing.T) {
+	// nondeterm is scoped: the fixture must run under a simulator path.
+	runFixture(t, "internal/sim", "nondeterm.go")
+}
+
+func TestMaporderFixture(t *testing.T) {
+	runFixture(t, "internal/analysis/simvet/testdata", "maporder.go")
+}
+
+func TestHotallocFixture(t *testing.T) {
+	runFixture(t, "internal/analysis/simvet/testdata", "hotalloc.go")
+}
+
+func TestConserveFixture(t *testing.T) {
+	runFixture(t, "internal/analysis/simvet/testdata", "conserve.go")
+}
+
+// TestStaleIgnoreFixture proves an ignore that suppresses nothing is
+// itself reported.
+func TestStaleIgnoreFixture(t *testing.T) {
+	runFixture(t, "internal/analysis/simvet/testdata", "stale.go")
+}
+
+// TestNondetermOutOfScope runs the nondeterm-triggering constructs
+// under a non-simulator path: no findings expected (the harness fails
+// on any unexpected diagnostic, and the source carries no wants).
+func TestNondetermOutOfScope(t *testing.T) {
+	src := `package x
+
+import "time"
+
+func f() time.Time { return time.Now() }
+`
+	analysistest.Run(t, map[string]string{"x.go": src}, adapt("cmd/tqsim"))
+}
+
+// TestScopeMatching pins the path forms inSimScope accepts: exact,
+// ./-prefixed, trailing-slash, and nested module prefixes — but not
+// unrelated packages.
+func TestScopeMatching(t *testing.T) {
+	src := `package x
+
+import "time"
+
+func f() time.Time { return time.Now() } // want "nondeterm: wall-clock"
+`
+	for _, path := range []string{"internal/sim", "./internal/sim", "internal/cluster/", "repro/internal/rack", "internal/workload"} {
+		analysistest.Run(t, map[string]string{"x.go": src}, adapt(path))
+	}
+	clean := `package x
+
+import "time"
+
+func f() time.Time { return time.Now() }
+`
+	for _, path := range []string{"", "internal/obs", "internal/simulator", "cmd"} {
+		analysistest.Run(t, map[string]string{"x.go": clean}, adapt(path))
+	}
+}

@@ -1,0 +1,44 @@
+package fixtures
+
+// Result mirrors cluster.Result's conserved counters; conserve matches
+// the type by name.
+type Result struct {
+	Completed uint64
+	Dropped   uint64
+	Offered   uint64
+}
+
+func rogueMutation(r *Result) {
+	r.Completed++    // want "conserve: result-mutation: Result.Completed mutated on r"
+	r.Dropped += 1   // want "conserve: result-mutation: Result.Dropped mutated on r"
+	r.Offered = 1000 // want "conserve: result-mutation: Result.Offered mutated on r"
+}
+
+func rogueLocal() Result {
+	out := Result{}
+	out.Completed = 7 // want "conserve: result-mutation: Result.Completed mutated on out"
+	return out
+}
+
+func rogueSliceElement(rs []*Result) {
+	rs[0].Dropped++ // want "conserve: result-mutation: Result.Dropped mutated on rs"
+}
+
+// mergeAll legitimately folds counters and carries the accounting
+// marker, so none of its mutations are flagged.
+//
+//simvet:accounting
+func mergeAll(parts []*Result) *Result {
+	out := &Result{}
+	for _, r := range parts {
+		out.Completed += r.Completed
+		out.Dropped += r.Dropped
+		out.Offered += r.Offered
+	}
+	return out
+}
+
+func suppressedReset(r *Result) {
+	//simvet:ignore fixture reset between subtests
+	r.Offered = 0
+}

@@ -1,0 +1,51 @@
+package fixtures
+
+import "fmt"
+
+type queue struct {
+	buf []int
+}
+
+//simvet:hotpath
+func (q *queue) push(v int, done func()) {
+	q.buf = append(q.buf, v) // field append: the reused-buffer idiom, allowed
+	cb := func() { done() }  // want "hotalloc: closure: function literal captures done"
+	cb()
+}
+
+//simvet:hotpath
+func record(v int) {
+	fmt.Printf("v=%d", v) // want "hotalloc: boxing: fmt.Printf boxes every argument"
+	x := any(v)           // want "hotalloc: boxing: any.v. boxes a concrete value"
+	_ = x
+}
+
+//simvet:hotpath
+func collectGrowing(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "hotalloc: append-grow: append to out"
+	}
+	return out
+}
+
+//simvet:hotpath
+func collectPreallocated(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func coldPath(done func()) func() {
+	// No hotpath marker: closures here are fine.
+	return func() { done() }
+}
+
+//simvet:hotpath
+func suppressedClosure(done func()) {
+	//simvet:ignore constructed once per run, not per event
+	cb := func() { done() }
+	cb()
+}

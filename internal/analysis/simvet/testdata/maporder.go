@@ -1,0 +1,79 @@
+package fixtures
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"sort"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "maporder: map-order-append: append to keys"
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "maporder: map-order-output: ordered output"
+	}
+}
+
+func emitAll(rec interface{ Emit(int) }, m map[int]int) {
+	for k := range m {
+		rec.Emit(k) // want "maporder: map-order-emit: obs events emitted"
+	}
+}
+
+type result struct{ Completed, Dropped, Offered uint64 }
+
+func mergeByMap(parts map[string]result) result {
+	var out result
+	for _, r := range parts {
+		out.Completed += r.Completed // want "maporder: map-order-merge: Result.Completed merged"
+	}
+	return out
+}
+
+func firstMatch(m map[string]bool) string {
+	for k := range m {
+		return k // want "maporder: map-order-return: return value depends"
+	}
+	return ""
+}
+
+func docgateStyle(fset *token.FileSet) {
+	report := func(msg string) {
+		fmt.Println(msg)
+	}
+	pkgs, _ := parser.ParseDir(fset, ".", nil, 0)
+	for name := range pkgs {
+		report(name) // want "maporder: map-order-output: ordered output"
+	}
+}
+
+func suppressedOutput(m map[string]int) {
+	for k := range m {
+		//simvet:ignore debug dump, order is irrelevant here
+		fmt.Println(k)
+	}
+}
+
+func orderFreeSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

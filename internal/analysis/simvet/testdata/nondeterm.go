@@ -1,0 +1,34 @@
+// Package fixtures holds analysistest sources for the simvet
+// analyzers; each file is parsed by exactly one test and never
+// compiled.
+package fixtures
+
+import (
+	"math/rand" // want "nondeterm: math-rand: math/rand in a simulator package"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "nondeterm: wall-clock: time.Now reads the wall clock"
+	return time.Since(start) // want "nondeterm: wall-clock: time.Since reads the wall clock"
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want "nondeterm: math-rand: rand.Intn draws from the package-global generator"
+}
+
+func localGenerator() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want "nondeterm: math-rand: rand.New constructs" "nondeterm: math-rand: rand.NewSource constructs"
+}
+
+func hostTelemetry() time.Time {
+	//simvet:ignore host-side telemetry, not sim state
+	return time.Now()
+}
+
+func exactlyOneSuppressed() (time.Time, time.Time) {
+	//simvet:ignore only this first read is host telemetry
+	a := time.Now()
+	b := time.Now() // want "nondeterm: wall-clock: time.Now reads the wall clock"
+	return a, b
+}

@@ -1,0 +1,6 @@
+package fixtures
+
+//simvet:ignore nothing here needs suppressing // want "simvet: stale-ignore: simvet:ignore suppresses no finding"
+func staleMarker() int {
+	return 1
+}

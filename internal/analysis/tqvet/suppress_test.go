@@ -1,0 +1,58 @@
+package tqvet
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+// runTqvet adapts the checker to the analysistest harness.
+func runTqvet(fset *token.FileSet, files []*ast.File, report func(pos token.Pos, text string)) error {
+	pass := &Pass{
+		Fset:  fset,
+		Files: files,
+		Report: func(d Diagnostic) {
+			report(d.Pos, analysistest.Format("tqvet", d.Category, d.Message))
+		},
+	}
+	return Checker.Run(pass)
+}
+
+// TestIgnoreSuppressesExactlyOne proves a //tqvet:ignore marker eats
+// only the finding on its own line (or the line below it): an
+// identical unsuppressed violation in the same task is still reported,
+// and the used marker is not reported as stale.
+func TestIgnoreSuppressesExactlyOne(t *testing.T) {
+	src := header + `
+func task(y *tqrt.Yield) {
+	n := 0
+	//tqvet:ignore bounded by construction, proven elsewhere
+	for i := 0; i < 8; i++ {
+		n += i
+	}
+	for i := 0; i < 8; i++ { // want "tqvet: loop-no-probe"
+		n += i
+	}
+	_ = n
+	y.Probe()
+}
+`
+	analysistest.Run(t, map[string]string{"task.go": src}, runTqvet)
+}
+
+// TestStaleIgnoreReported proves a marker that suppresses nothing is
+// itself a finding, and that prose mentioning the convention is not
+// treated as a marker.
+func TestStaleIgnoreReported(t *testing.T) {
+	src := header + `
+// This helper needs no //tqvet:ignore marker: mentioning one in prose
+// must not create a suppression.
+func task(y *tqrt.Yield) {
+	//tqvet:ignore nothing on this line needs suppressing // want "tqvet: stale-ignore: tqvet:ignore suppresses no finding"
+	y.Probe()
+}
+`
+	analysistest.Run(t, map[string]string{"task.go": src}, runTqvet)
+}

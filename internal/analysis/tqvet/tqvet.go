@@ -38,35 +38,52 @@ var Checker = &Analyzer{
 func run(pass *Pass) error {
 	for _, file := range pass.Files {
 		names := tqrtImports(file)
-		if len(names) == 0 {
-			continue
-		}
-		ignore := ignoreLines(pass.Fset, file)
-		report := func(pos token.Pos, category, format string, args ...any) {
-			line := pass.Fset.Position(pos).Line
-			if ignore[line] || ignore[line-1] {
-				return
+		marks := ignoreMarks(pass.Fset, file)
+		if len(names) > 0 {
+			report := func(pos token.Pos, category, format string, args ...any) {
+				line := pass.Fset.Position(pos).Line
+				if m := marks[line]; m != nil {
+					m.used = true
+					return
+				}
+				if m := marks[line-1]; m != nil {
+					m.used = true
+					return
+				}
+				pass.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
 			}
-			pass.Report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
-		}
-		ast.Inspect(file, func(n ast.Node) bool {
-			var typ *ast.FuncType
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				typ, body = fn.Type, fn.Body
-			case *ast.FuncLit:
-				typ, body = fn.Type, fn.Body
-			default:
+			ast.Inspect(file, func(n ast.Node) bool {
+				var typ *ast.FuncType
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					typ, body = fn.Type, fn.Body
+				case *ast.FuncLit:
+					typ, body = fn.Type, fn.Body
+				default:
+					return true
+				}
+				yields := yieldParams(typ, names)
+				if len(yields) == 0 || body == nil {
+					return true
+				}
+				checkTask(body, yields, report)
 				return true
+			})
+		}
+		// Markers that suppressed nothing are themselves findings — a
+		// stale ignore hides the next regression on its line. Files that
+		// never import tqrt can have no tqvet findings, so any marker
+		// there is stale by definition.
+		for _, m := range marks {
+			if !m.used {
+				pass.Report(Diagnostic{
+					Pos:      m.pos,
+					Category: "stale-ignore",
+					Message:  "tqvet:ignore suppresses no finding; delete it (stale suppressions hide future regressions)",
+				})
 			}
-			yields := yieldParams(typ, names)
-			if len(yields) == 0 || body == nil {
-				return true
-			}
-			checkTask(body, yields, report)
-			return true
-		})
+		}
 	}
 	return nil
 }
@@ -121,17 +138,28 @@ func yieldParams(typ *ast.FuncType, pkgs map[string]bool) map[string]bool {
 	return yields
 }
 
-// ignoreLines collects the lines carrying a `//tqvet:ignore` marker.
-func ignoreLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	lines := map[int]bool{}
+// ignoreMark tracks one `//tqvet:ignore` marker and whether it
+// suppressed a finding during the run.
+type ignoreMark struct {
+	pos  token.Pos
+	used bool
+}
+
+// ignoreMarks collects the lines carrying a `//tqvet:ignore` marker. A
+// comment counts only when it starts with the marker — prose that
+// merely mentions the convention (doc comments, usage text) is not a
+// suppression.
+func ignoreMarks(fset *token.FileSet, file *ast.File) map[int]*ignoreMark {
+	marks := map[int]*ignoreMark{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			if strings.Contains(c.Text, "tqvet:ignore") {
-				lines[fset.Position(c.Pos()).Line] = true
+			text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+			if strings.HasPrefix(strings.TrimSpace(text), "tqvet:ignore") {
+				marks[fset.Position(c.Pos()).Line] = &ignoreMark{pos: c.Pos()}
 			}
 		}
 	}
-	return lines
+	return marks
 }
 
 type reporter func(pos token.Pos, category, format string, args ...any)

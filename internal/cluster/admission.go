@@ -36,6 +36,8 @@ func newAdmission(warmup sim.Time, limit, lanes int) *admission {
 // resolves at its arrival instant, and arrivals never occur after
 // Duration, so gating on arrival alone applies the same
 // [Warmup, Duration] window that completions get.
+//
+//simvet:hotpath
 func (a *admission) tryAdmit(lane int, arrival sim.Time) bool {
 	if a.limit <= 0 {
 		return true
@@ -55,6 +57,8 @@ func (a *admission) tryAdmit(lane int, arrival sim.Time) bool {
 // release without a matching tryAdmit is a machine-model bug — letting
 // occupancy go negative would silently widen the RX bound for the rest
 // of the run — so underflow panics, like a misregistered machine does.
+//
+//simvet:hotpath
 func (a *admission) release(lane int) {
 	if a.limit <= 0 {
 		return

@@ -38,6 +38,7 @@ type jobPool struct {
 	onPut func(*job)
 }
 
+//simvet:hotpath
 func (p *jobPool) get() *job {
 	p.out++
 	if n := len(p.free); n > 0 {
@@ -49,6 +50,7 @@ func (p *jobPool) get() *job {
 	return &job{}
 }
 
+//simvet:hotpath
 func (p *jobPool) put(j *job) {
 	p.out--
 	if p.onPut != nil {
@@ -266,6 +268,8 @@ func (m *metrics) admission(limit, lanes int) *admission {
 // RunConfig.Obs is attached; with no recorder it is a nil check. All
 // machine models funnel their timeline through this one helper so the
 // event semantics cannot drift between models.
+//
+//simvet:hotpath
 func (m *metrics) emit(t sim.Time, k obs.Kind, task uint64, class workload.Class, core int32) {
 	if m.cfg.Obs == nil {
 		return
@@ -284,6 +288,8 @@ func (m *metrics) emit(t sim.Time, k obs.Kind, task uint64, class workload.Class
 // flushObs drains the emission buffer into the batch recorder. result()
 // calls it, so a run's timeline is complete once Run returns; nothing
 // else may read the recorder before then.
+//
+//simvet:hotpath
 func (m *metrics) flushObs() {
 	if len(m.obsBuf) > 0 {
 		m.obsBatch.EmitBatch(m.obsBuf)
@@ -300,6 +306,8 @@ func (m *metrics) tracing() bool { return m.cfg.Obs != nil }
 // measurement window count: jobs finishing during the post-arrival
 // drain would otherwise credit an overloaded system with throughput it
 // cannot sustain.
+//
+//simvet:hotpath
 func (m *metrics) record(j *job, now sim.Time) {
 	if j.arrival < m.cfg.Warmup || now > m.cfg.Duration {
 		return

@@ -112,6 +112,8 @@ func NewPump(eng *sim.Engine, gen *workload.Generator, horizon sim.Time, deliver
 
 // Start schedules the next arrival (the first, when called from
 // outside the chain). Requests past the horizon end the stream.
+//
+//simvet:hotpath
 func (p *Pump) Start() {
 	req := p.gen.Next()
 	if req.Arrival > p.horizon {
@@ -201,6 +203,8 @@ func (k *machineRun) run(system string, rtt sim.Time) *Result {
 // books it, attributed to the lane's core), build the pooled job, and
 // hand it to the machine's policy. Standalone runs reach it through
 // the pump; attached nodes through Inject.
+//
+//simvet:hotpath
 func (k *machineRun) inject(req workload.Request) {
 	lane := k.pol.admitLane(req)
 	if k.arr != nil {

@@ -105,10 +105,10 @@ func MeasureArrivalPump(n int) PumpMeasurement {
 
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	start := time.Now()
+	start := time.Now() //simvet:ignore host wall-clock measurement of pump cost, not sim state
 	s.haltAt = uint64(warm + n)
 	r.eng.Run()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //simvet:ignore host wall-clock measurement of pump cost, not sim state
 	runtime.ReadMemStats(&after)
 
 	return PumpMeasurement{

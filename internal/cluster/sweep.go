@@ -132,7 +132,7 @@ func ParallelSweep(mf MachineFactory, w *workload.Workload, rates []float64, dur
 			defer wg.Done()
 			for i := range idx {
 				cfg := pointConfig(w, rates, i, dur, warm, seed)
-				start := time.Now()
+				start := time.Now() //simvet:ignore host wall-clock telemetry for sweep progress, not sim state
 				res := mf().Run(cfg)
 				out[i] = res
 				if opt.OnPoint == nil {
@@ -145,9 +145,10 @@ func ParallelSweep(mf MachineFactory, w *workload.Workload, rates []float64, dur
 					Rate:   cfg.Rate,
 					Seed:   cfg.Seed,
 					Result: res,
-					Wall:   time.Since(start),
-					Done:   done,
-					Total:  len(rates),
+					//simvet:ignore host wall-clock telemetry for sweep progress, not sim state
+					Wall:  time.Since(start),
+					Done:  done,
+					Total: len(rates),
 				})
 				mu.Unlock()
 			}

@@ -217,6 +217,10 @@ func RunClient(cfg ClientConfig) (*Report, error) {
 					out = append(out, Request{ID: id, SentNs: p.firstNs, Kind: p.kind, Payload: p.payload})
 				}
 				mu.Unlock()
+				// pending is a map, so the collect loop above sees it in
+				// randomized order; sort by id so each tick's retransmissions
+				// leave in a deterministic, reproducible order.
+				sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 				for i := range out {
 					pkt = EncodeRequest(pkt[:0], &out[i])
 					conn.Write(pkt)

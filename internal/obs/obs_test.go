@@ -161,6 +161,33 @@ func TestConservedCatchesLostTask(t *testing.T) {
 	}
 }
 
+// TestConservedFirstViolationDeterministic is the run-twice regression
+// test for the map-order bug simvet's maporder analyzer flagged here:
+// with several non-terminal tasks, Conserved used to range over its
+// task map and name a different violating task on every run. The
+// contract is now first-by-timeline-appearance.
+func TestConservedFirstViolationDeterministic(t *testing.T) {
+	var events []Event
+	// Ten violating tasks; task 100 arrives first, so it must be the one
+	// reported, every run.
+	for i := 0; i < 10; i++ {
+		events = append(events, Event{T: int64(i), Task: uint64(100 + i), Core: CoreLoadgen, Kind: Arrive})
+	}
+	first := Conserved(events)
+	if first == nil {
+		t.Fatal("non-terminal tasks not reported")
+	}
+	if !strings.Contains(first.Error(), "task 100") {
+		t.Fatalf("error %q should name task 100, the earliest violator", first)
+	}
+	for i := 0; i < 20; i++ {
+		again := Conserved(events)
+		if again == nil || again.Error() != first.Error() {
+			t.Fatalf("run %d: verdict changed: first %q, again %v", i, first, again)
+		}
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	events := append(lifecycle(1, 0, 0), lifecycle(2, 1, 5)...)
 	events = append(events,

@@ -33,6 +33,8 @@ func NewRing(capacity int) *Ring {
 }
 
 // Emit records e, or counts it as discarded once the ring is full.
+//
+//simvet:hotpath
 func (r *Ring) Emit(e Event) {
 	if cap(r.events) == 0 {
 		r.events = make([]Event, 0, DefaultCap)
@@ -46,6 +48,8 @@ func (r *Ring) Emit(e Event) {
 
 // EmitBatch records the events in order, counting whatever exceeds the
 // cap as discarded — Emit amortized over one bulk append.
+//
+//simvet:hotpath
 func (r *Ring) EmitBatch(evs []Event) {
 	if cap(r.events) == 0 {
 		r.events = make([]Event, 0, DefaultCap)
@@ -96,6 +100,8 @@ func NewLocked(capacity int) *Locked {
 }
 
 // Emit records e under the lock.
+//
+//simvet:hotpath
 func (l *Locked) Emit(e Event) {
 	l.mu.Lock()
 	l.ring.Emit(e)
@@ -104,6 +110,8 @@ func (l *Locked) Emit(e Event) {
 
 // EmitBatch records the batch under one lock acquisition instead of
 // one per event.
+//
+//simvet:hotpath
 func (l *Locked) EmitBatch(evs []Event) {
 	l.mu.Lock()
 	l.ring.EmitBatch(evs)

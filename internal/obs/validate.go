@@ -126,9 +126,17 @@ func Conserved(events []Event) error {
 	for _, e := range events {
 		last[e.Task] = e.Kind
 	}
-	for task, k := range last {
-		if k != Finish && k != Drop {
-			return fmt.Errorf("obs: task %d has no terminal event: last was %v", task, k)
+	// Scan the timeline, not the map: ranging over `last` would name a
+	// different violating task on every run (map iteration order), so
+	// "first violation" is defined as the task that appears earliest.
+	checked := map[uint64]bool{}
+	for _, e := range events {
+		if checked[e.Task] {
+			continue
+		}
+		checked[e.Task] = true
+		if k := last[e.Task]; k != Finish && k != Drop {
+			return fmt.Errorf("obs: task %d has no terminal event: last was %v", e.Task, k)
 		}
 	}
 	return nil

@@ -160,6 +160,7 @@ type shiftRecorder struct {
 	base  int32
 }
 
+//simvet:hotpath
 func (s shiftRecorder) Emit(e obs.Event) {
 	if e.Core >= 0 {
 		e.Core += s.base
@@ -169,7 +170,10 @@ func (s shiftRecorder) Emit(e obs.Event) {
 
 // mergeResults folds per-machine Results into the fleet aggregate:
 // counts and rates sum, latency samples pool, and the conservation law
-// survives because it holds machine by machine.
+// survives because it holds machine by machine. The per slice is
+// ordered by machine index, so the merge is deterministic.
+//
+//simvet:accounting
 func mergeResults(system string, cfg cluster.RunConfig, per []*cluster.Result) *cluster.Result {
 	window := (cfg.Duration - cfg.Warmup).Seconds()
 	out := &cluster.Result{System: system, Config: cfg, RTT: per[0].RTT}

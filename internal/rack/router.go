@@ -84,6 +84,7 @@ func NewRouter(name string, r *rng.Rand) (Router, error) {
 // load-aware policy must beat.
 type randomRouter struct{ r *rng.Rand }
 
+//simvet:hotpath
 func (rt *randomRouter) Route(_ workload.Request, v View) int { return rt.r.Intn(v.Machines()) }
 func (rt *randomRouter) Name() string                         { return "random" }
 
@@ -91,6 +92,7 @@ func (rt *randomRouter) Name() string                         { return "random" 
 // even in counts.
 type rrRouter struct{ next int }
 
+//simvet:hotpath
 func (rt *rrRouter) Route(_ workload.Request, v View) int {
 	m := rt.next % v.Machines()
 	rt.next = m + 1
@@ -104,6 +106,7 @@ func (rt *rrRouter) Name() string { return "rr" }
 // full scan.
 type p2cRouter struct{ r *rng.Rand }
 
+//simvet:hotpath
 func (rt *p2cRouter) Route(_ workload.Request, v View) int {
 	n := v.Machines()
 	a := rt.r.Intn(n)
@@ -120,6 +123,7 @@ func (rt *p2cRouter) Name() string { return "p2c" }
 // queue-depth policy, at the cost of a full scan per request.
 type leastRouter struct{}
 
+//simvet:hotpath
 func (leastRouter) Route(_ workload.Request, v View) int {
 	best, bestDepth := 0, v.Backlog(0)
 	for m := 1; m < v.Machines(); m++ {
@@ -135,6 +139,7 @@ func (leastRouter) Name() string { return "least" }
 // one level down: affinity without state, blind to load.
 type rssRouter struct{ rss core.RSS }
 
+//simvet:hotpath
 func (rt *rssRouter) Route(req workload.Request, v View) int {
 	return rt.rss.Steer(req.ID, v.Machines())
 }
@@ -207,6 +212,7 @@ func (rt *sewRouter) place(machine, class int) {
 	rt.queued[machine][class]++
 }
 
+//simvet:hotpath
 func (rt *sewRouter) Route(req workload.Request, v View) int {
 	c := int(req.Class)
 	best, bestScore := 0, rt.score(0, c, v)

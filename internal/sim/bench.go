@@ -41,9 +41,9 @@ func EngineChurn(depth, n int, seed uint64) time.Duration {
 	for i := 0; i < depth; i++ {
 		e.After(churnDelay(&state), fn)
 	}
-	start := time.Now()
+	start := time.Now() //simvet:ignore host wall-clock benchmark timing, not sim state
 	e.Run()
-	return time.Since(start)
+	return time.Since(start) //simvet:ignore host wall-clock benchmark timing, not sim state
 }
 
 // HeapChurn is EngineChurn against the retired 4-ary heap baseline:
@@ -65,11 +65,11 @@ func HeapChurn(depth, n int, seed uint64) time.Duration {
 	for i := 0; i < depth; i++ {
 		push(fn)
 	}
-	start := time.Now()
+	start := time.Now() //simvet:ignore host wall-clock benchmark timing, not sim state
 	for i := 0; i < n; i++ {
 		ev := h.pop()
 		now = ev.at
 		ev.fn()
 	}
-	return time.Since(start)
+	return time.Since(start) //simvet:ignore host wall-clock benchmark timing, not sim state
 }

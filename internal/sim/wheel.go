@@ -56,6 +56,8 @@ type wheelSlot struct {
 
 // take removes and returns the slot's next event, zeroing the vacated
 // entry. done reports whether the slot is now empty (and was reset).
+//
+//simvet:hotpath
 func (s *wheelSlot) take() (ev event, done bool) {
 	ev = s.events[s.head]
 	s.events[s.head] = event{}
@@ -111,6 +113,7 @@ type timingWheel struct {
 	levels [wheelLevels]wheelLevel
 }
 
+//simvet:hotpath
 func (w *timingWheel) push(ev event) {
 	w.place(ev)
 	w.count++
@@ -121,6 +124,8 @@ func (w *timingWheel) push(ev event) {
 // level 0, same 64µs window → level 1, ...), so exactly one slot's
 // window contains at, and slot indices cannot collide across wheel
 // rotations.
+//
+//simvet:hotpath
 func (w *timingWheel) place(ev event) {
 	lvl := 0
 	if diff := uint64(ev.at ^ w.cur); diff != 0 {
@@ -147,6 +152,8 @@ const maxTime = Time(1<<63 - 1)
 // wheel clock would be filed into an already-passed slot and lost. A
 // bucket is therefore only cascaded when its window start is within
 // limit, which caps the clock at the deadline; pop uses maxTime.
+//
+//simvet:hotpath
 func (w *timingWheel) nextTime(limit Time) (Time, bool) {
 	if w.count == 0 {
 		return 0, false
@@ -190,6 +197,8 @@ func (w *timingWheel) nextTime(limit Time) (Time, bool) {
 // skipped — and re-files the bucket's events, which now land at
 // strictly lower levels. Stored order is preserved, keeping each
 // destination slot seq-sorted.
+//
+//simvet:hotpath
 func (w *timingWheel) cascade(lvl, b int, start Time) {
 	if start > w.cur {
 		w.cur = start
@@ -212,6 +221,8 @@ func (w *timingWheel) cascade(lvl, b int, start Time) {
 
 // pop removes and returns the earliest queued event; the wheel must be
 // non-empty.
+//
+//simvet:hotpath
 func (w *timingWheel) pop() event {
 	t, ok := w.nextTime(maxTime)
 	if !ok {
