@@ -28,6 +28,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	"repro/internal/rack"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -44,6 +45,8 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write a windowed scheduling time series (TSV) of a short TQ run to this file and exit")
 	slo := flag.String("slo", "", `per-class sojourn SLOs for goodput, e.g. "GET=50us,SCAN=1ms" or a bare "100us" for all classes`)
 	machines := flag.String("machines", "", `comma-separated registry machines to sweep side by side, e.g. "tq,shinjuku,caladan-ws,ct-ps"; "list" prints the catalogue`)
+	discipline := flag.String("discipline", "", `queue discipline for -machines (machines with a discipline knob only); "list" prints the catalogue`)
+	gap := flag.Bool("gap", false, "print the optimality-gap table (p99 sojourn vs the clairvoyant oracle-srpt) for the -machines list (default: every registry machine) on -workload")
 	workloadName := flag.String("workload", "HighBimodal", "workload for -machines and -rack (names as in -fig table1)")
 	rackN := flag.Int("rack", 0, "fleet size: sweep -route routing policies over N-machine fleets of each -machines machine (default fleet machine: tq)")
 	route := flag.String("route", "random,p2c,least,sew", `comma-separated routing policies for -rack; "list" prints the catalogue`)
@@ -57,7 +60,17 @@ func main() {
 	if *machines == "list" {
 		for _, n := range cluster.Names() {
 			e, _ := cluster.Lookup(n)
-			fmt.Printf("%-20s %s\n", n, e.Summary)
+			knob := " "
+			if e.NewD != nil {
+				knob = "D" // takes -discipline
+			}
+			fmt.Printf("%-20s %s %s\n", n, knob, e.Summary)
+		}
+		return
+	}
+	if *discipline == "list" {
+		for _, n := range pifo.Names() {
+			fmt.Println(n)
 		}
 		return
 	}
@@ -78,7 +91,7 @@ func main() {
 		fmt.Printf("wrote windowed scheduling metrics to %s\n", *metricsOut)
 		return
 	}
-	if *fig == "" && *machines == "" && *rackN <= 0 {
+	if *fig == "" && *machines == "" && *rackN <= 0 && !*gap {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -112,8 +125,15 @@ func main() {
 		}
 		return
 	}
+	if *gap {
+		if err := runGap(sc, *machines, *workloadName); err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if *machines != "" {
-		if err := runMachines(sc, *machines, *workloadName); err != nil {
+		if err := runMachines(sc, *machines, *workloadName, *discipline); err != nil {
 			fmt.Fprintln(os.Stderr, "tqsim:", err)
 			os.Exit(2)
 		}
@@ -202,14 +222,9 @@ func run(fig string, sc experiments.Scale) {
 	}
 }
 
-// runMachines sweeps the named registry machines side by side over one
-// workload — any registered machine, default parameters, selected by
-// name (the registry is the front door; see cluster.Names).
-func runMachines(sc experiments.Scale, list, workloadName string) error {
-	w, err := findWorkload(workloadName)
-	if err != nil {
-		return err
-	}
+// parseMachineList resolves a comma-separated -machines value against
+// the registry.
+func parseMachineList(list string) ([]string, error) {
 	var names []string
 	for _, n := range strings.Split(list, ",") {
 		n = strings.TrimSpace(n)
@@ -217,15 +232,66 @@ func runMachines(sc experiments.Scale, list, workloadName string) error {
 			continue
 		}
 		if _, ok := cluster.Lookup(n); !ok {
-			return fmt.Errorf("unknown machine %q (run -machines list for the catalogue)", n)
+			return nil, fmt.Errorf("unknown machine %q (run -machines list for the catalogue)", n)
 		}
 		names = append(names, n)
 	}
 	if len(names) == 0 {
-		return fmt.Errorf("empty -machines value")
+		return nil, fmt.Errorf("empty -machines value")
+	}
+	return names, nil
+}
+
+// runMachines sweeps the named registry machines side by side over one
+// workload — any registered machine, default parameters, selected by
+// name (the registry is the front door; see cluster.Names). A
+// -discipline rebuilds every named machine with that queue discipline
+// through its Entry.NewD constructor.
+func runMachines(sc experiments.Scale, list, workloadName, discipline string) error {
+	w, err := findWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+	names, err := parseMachineList(list)
+	if err != nil {
+		return err
+	}
+	if discipline != "" {
+		if _, err := pifo.Parse(discipline); err != nil {
+			return fmt.Errorf("%v (run -discipline list for the catalogue)", err)
+		}
+		for _, n := range names {
+			if e, _ := cluster.Lookup(n); e.NewD == nil {
+				return fmt.Errorf("machine %q has no discipline knob; drop it from -machines or drop -discipline", n)
+			}
+		}
 	}
 	header(fmt.Sprintf("Machine comparison on %s: p99.9 end-to-end(µs) vs rate(rps)", w.Name))
-	printComparison(experiments.CompareMachines(sc, w, nil, names...))
+	printComparison(experiments.CompareMachinesD(sc, w, nil, discipline, names...))
+	return nil
+}
+
+// runGap prints the optimality-gap table: every named machine's p99
+// sojourn for the workload's first class, divided by the clairvoyant
+// oracle-srpt's at the same rate, at mid-load (55% of saturation) and
+// the overload knee (90%). Empty -machines means the whole catalogue.
+func runGap(sc experiments.Scale, list, workloadName string) error {
+	w, err := findWorkload(workloadName)
+	if err != nil {
+		return err
+	}
+	names := cluster.Names()
+	if list != "" {
+		if names, err = parseMachineList(list); err != nil {
+			return err
+		}
+	}
+	class := w.Classes[0].Name
+	header(fmt.Sprintf("Optimality gap on %s, class %s: p99 sojourn ÷ oracle-srpt (1.00 = clairvoyant SRPT)", w.Name, class))
+	fmt.Printf("%-20s %-24s %10s %10s\n", "machine", "display", "mid 55%", "knee 90%")
+	for _, r := range experiments.OptimalityGapTable(sc, w, class, names...) {
+		fmt.Printf("%-20s %-24s %10.2f %10.2f\n", r.Name, r.Display, r.Mid, r.Over)
+	}
 	return nil
 }
 
@@ -415,6 +481,17 @@ func printComparison(cmp experiments.SystemComparison) {
 	if anyNonZero(cmp.DropRate) {
 		fmt.Printf("## %s / drop rate\n", cmp.Workload)
 		printSeries(cmp.DropRate)
+	}
+	if cmp.OptimalityGap != nil {
+		gapClasses := make([]string, 0, len(cmp.OptimalityGap))
+		for c := range cmp.OptimalityGap {
+			gapClasses = append(gapClasses, c)
+		}
+		sort.Strings(gapClasses)
+		for _, class := range gapClasses {
+			fmt.Printf("## %s / %s optimality gap (p99 sojourn ÷ oracle-srpt)\n", cmp.Workload, class)
+			printSeries(cmp.OptimalityGap[class])
+		}
 	}
 }
 

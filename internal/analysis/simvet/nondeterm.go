@@ -14,6 +14,7 @@ import (
 var simScopePaths = []string{
 	"internal/sim",
 	"internal/cluster",
+	"internal/pifo",
 	"internal/rack",
 	"internal/workload",
 }

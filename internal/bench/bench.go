@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	"repro/internal/rack"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -184,6 +185,7 @@ type matrixBench struct {
 var matrix = []matrixBench{
 	{"engine/wheel-churn", 2_000_000, 200_000, benchWheelChurn},
 	{"engine/heap-churn", 2_000_000, 200_000, benchHeapChurn},
+	{"pifo/push-pop", 2_000_000, 200_000, benchPifoChurn},
 	{"kernel/arrival-pump", 1_000_000, 100_000, benchArrivalPump},
 	{"machine/tq-run", 20, 5, benchTQRun},
 	{"machine/shinjuku-run", 20, 5, benchShinjukuRun},
@@ -233,6 +235,13 @@ func benchHeapChurn(n int) Result {
 	sim.HeapChurn(churnDepth, n/10, 61)
 	return measure(int64(n), "1024-deep self-renewing churn, retired 4-ary heap baseline", func() {
 		sim.HeapChurn(churnDepth, n, 61)
+	})
+}
+
+func benchPifoChurn(n int) Result {
+	pifo.Churn(churnDepth, n/10, 61) // warm the queue's item storage
+	return measure(int64(n), "1024-deep push/pop churn, rank-programmable PIFO queue", func() {
+		pifo.Churn(churnDepth, n, 61)
 	})
 }
 

@@ -1,8 +1,8 @@
 package cluster
 
 import (
-	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -22,6 +22,13 @@ type CentralizedPS struct {
 	// PreemptOverhead is charged each time a worker switches away from
 	// an unfinished job (§2 evaluates 0, 0.1µs and 1µs).
 	PreemptOverhead sim.Time
+	// Discipline, when non-empty, orders the global queue by a pifo
+	// discipline name instead of the rr default (which reproduces the
+	// original round-robin PS bit for bit). At a quantum boundary the
+	// running job switches out only if the queue head ranks at or below
+	// it — so fcfs becomes run-to-completion c-FCFS and srpt becomes
+	// quantum-granularity preemptive SRPT.
+	Discipline string
 }
 
 // NewCentralizedPS returns the ideal CT machine.
@@ -32,22 +39,31 @@ func NewCentralizedPS(workers int, quantum, overhead sim.Time) *CentralizedPS {
 	return &CentralizedPS{Workers: workers, Quantum: quantum, PreemptOverhead: overhead}
 }
 
+// WithDiscipline sets the global-queue discipline by name (validated
+// now, so a typo panics at construction) and returns the machine.
+func (c *CentralizedPS) WithDiscipline(d string) *CentralizedPS {
+	parseDiscipline(d, pifo.RR)
+	c.Discipline = d
+	return c
+}
+
 // Name implements Machine.
-func (c *CentralizedPS) Name() string { return "CT-PS" }
+func (c *CentralizedPS) Name() string { return disciplineName("CT-PS", c.Discipline) }
 
 type ctRun struct {
 	machineRun
 	basePolicy
 	m     *CentralizedPS
-	queue core.FIFO[*job]
+	rank  ranker
+	queue pifo.Queue[*job]
 	// free lists idle core indices. Worker identity is immaterial to the
 	// idealized model's results, but giving each core a stable index lets
 	// the machine share the per-core timeline vocabulary with the others.
 	free []int32
 }
 
-func (c *CentralizedPS) newRun() *ctRun {
-	r := &ctRun{m: c}
+func (c *CentralizedPS) newRun(cfg RunConfig) *ctRun {
+	r := &ctRun{m: c, rank: newRanker(parseDiscipline(c.Discipline, pifo.RR), cfg)}
 	for i := c.Workers - 1; i >= 0; i-- {
 		r.free = append(r.free, int32(i)) // pop from the end: core 0 first
 	}
@@ -56,7 +72,7 @@ func (c *CentralizedPS) newRun() *ctRun {
 
 // Run implements Machine.
 func (c *CentralizedPS) Run(cfg RunConfig) *Result {
-	r := c.newRun()
+	r := c.newRun(cfg)
 	// The idealized scheduler has no bounded RX stage (limit 0): the
 	// gate admits everything, but the arrive path still goes through it
 	// so Offered/Dropped accounting is uniform across machine models.
@@ -67,7 +83,7 @@ func (c *CentralizedPS) Run(cfg RunConfig) *Result {
 // NewNode binds the machine to a shared engine as a cluster Node (the
 // rack-fleet form; see Entry.NewNode).
 func (c *CentralizedPS) NewNode(eng *sim.Engine, cfg RunConfig) Node {
-	r := c.newRun()
+	r := c.newRun(cfg)
 	r.attach(eng, cfg, r, 0, 1)
 	r.bind(c.Name(), c.Workers, 0)
 	return r
@@ -81,7 +97,7 @@ func (r *ctRun) admit(_ int, j *job) {
 		r.free = r.free[:n-1]
 		r.mount(j, core)
 	} else {
-		r.queue.Push(j)
+		r.queue.Push(j, r.rank.rank(j, r.eng.Now()))
 	}
 }
 
@@ -111,14 +127,20 @@ func (r *ctRun) runQuantum(j *job, core int32) {
 			r.met.emit(now, obs.Finish, j.id, j.class, core)
 			r.met.record(j, now)
 			r.pool.put(j)
-			if next, ok := r.queue.Pop(); ok {
+			if next, _, ok := r.queue.Pop(); ok {
 				r.mount(next, core)
 			} else {
 				r.free = append(r.free, core)
 			}
 			return
 		}
-		next, ok := r.queue.Pop()
+		// The switch rule: yield the core iff the queue head ranks at or
+		// below the running job at this boundary. Under rr the head's
+		// rank is its (earlier) queue time, so the rule is "switch
+		// whenever anything waits" — exactly round-robin PS. Under fcfs
+		// the head arrived later, ranks higher, and never wins — run to
+		// completion. Under srpt/edf/las the comparison is the policy.
+		_, headRank, ok := r.queue.Peek()
 		if !ok {
 			// Nothing else to run: keep executing the same job without
 			// a preemption (real PS would not switch). The open quantum
@@ -126,10 +148,16 @@ func (r *ctRun) runQuantum(j *job, core int32) {
 			r.runQuantum(j, core)
 			return
 		}
+		myRank := r.rank.rank(j, now)
+		if headRank > myRank {
+			r.runQuantum(j, core)
+			return
+		}
+		next, _, _ := r.queue.Pop()
 		// Preempt: pay the switch overhead, requeue, run the next job.
 		r.met.emit(now, obs.QuantumEnd, j.id, j.class, core)
 		r.met.emit(now, obs.Preempt, j.id, j.class, core)
-		r.queue.Push(j)
+		r.queue.Push(j, myRank)
 		if r.m.PreemptOverhead > 0 {
 			r.eng.After(r.m.PreemptOverhead, func() { r.mount(next, core) })
 		} else {

@@ -246,12 +246,8 @@ func newMetrics(cfg RunConfig) *metrics {
 			Sojourn:  stats.NewSample(1024),
 			Slowdown: stats.NewSample(1024),
 		})
-		target := cfg.SLOs[c.Name]
-		if target == 0 {
-			target = cfg.SLOs["*"]
-		}
-		m.slo = append(m.slo, target)
 	}
+	m.slo = sloTargets(cfg)
 	return m
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -162,6 +163,43 @@ func TestRegistryDropCores(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRegistryNewD checks the discipline dimension: every
+// discipline-parameterized constructor builds a runnable machine under
+// every pifo discipline, the conservation law holds, and the display
+// name carries the discipline suffix so sweeps stay distinguishable.
+func TestRegistryNewD(t *testing.T) {
+	cfg := conformanceConfigs()["midload"]
+	cfg.Duration = 2 * sim.Millisecond
+	cfg.Warmup = 200 * sim.Microsecond
+	// Give EDF real deadlines to order by (without SLOs it degenerates
+	// to FCFS, which the pifo package documents but this test need not
+	// rely on).
+	cfg.SLOs = map[string]sim.Time{"*": sim.Micros(100)}
+	for _, name := range Names() {
+		e := MustLookup(name)
+		if e.NewD == nil {
+			continue
+		}
+		for _, d := range pifo.Names() {
+			t.Run(name+"/"+d, func(t *testing.T) {
+				t.Parallel()
+				m := e.NewD(d)
+				if base := e.New().Name(); m.Name() == base {
+					t.Errorf("disciplined machine reports the base name %q; want a +%s suffix", base, d)
+				}
+				res := m.Run(cfg)
+				if res.Offered == 0 {
+					t.Error("discipline-parameterized machine resolved no requests")
+				}
+				if res.Offered != res.Completed+res.Dropped {
+					t.Errorf("conservation violated: offered %d != completed %d + dropped %d",
+						res.Offered, res.Completed, res.Dropped)
+				}
+			})
+		}
 	}
 }
 

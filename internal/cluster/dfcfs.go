@@ -3,6 +3,7 @@ package cluster
 import (
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -35,6 +36,11 @@ type DFCFSParams struct {
 	RXQueue int
 	// RTT is the simulated network round trip for end-to-end latency.
 	RTT sim.Time
+	// Discipline, when non-empty, reorders each worker's queue by a
+	// pifo discipline name. The default fcfs ranks by arrival, which is
+	// queue order, so the baseline stays bit-identical; srpt turns each
+	// worker into non-preemptive SJF (workers still run to completion).
+	Discipline string
 }
 
 // NewDFCFSParams returns defaults matching the other baselines'
@@ -56,27 +62,39 @@ func NewDFCFS(p DFCFSParams) *DFCFS {
 	if p.Workers <= 0 {
 		panic("cluster: invalid d-FCFS parameters")
 	}
+	if p.Discipline != "" {
+		parseDiscipline(p.Discipline, pifo.FCFS) // panic on a bad name now
+	}
 	return &DFCFS{P: p}
 }
 
 // Name implements Machine.
-func (d *DFCFS) Name() string { return "d-FCFS" }
+func (d *DFCFS) Name() string { return disciplineName("d-FCFS", d.P.Discipline) }
 
 type dfWorker struct {
-	queue core.FIFO[*job]
+	queue pifo.Queue[*job]
 	busy  bool
 }
 
 type dfRun struct {
 	machineRun
 	m       *DFCFS
+	rank    ranker
 	workers []dfWorker
 	rss     core.RSS
 }
 
+func (d *DFCFS) newRun(cfg RunConfig) *dfRun {
+	return &dfRun{
+		m:       d,
+		rank:    newRanker(parseDiscipline(d.P.Discipline, pifo.FCFS), cfg),
+		workers: make([]dfWorker, d.P.Workers),
+	}
+}
+
 // Run implements Machine.
 func (d *DFCFS) Run(cfg RunConfig) *Result {
-	r := &dfRun{m: d, workers: make([]dfWorker, d.P.Workers)}
+	r := d.newRun(cfg)
 	// One RX lane per worker: each NIC queue is its own bounded ring.
 	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), d.P.RXQueue, d.P.Workers)
 	return r.run(d.Name(), d.P.RTT)
@@ -85,7 +103,7 @@ func (d *DFCFS) Run(cfg RunConfig) *Result {
 // NewNode binds the machine to a shared engine as a cluster Node (the
 // rack-fleet form; see Entry.NewNode).
 func (d *DFCFS) NewNode(eng *sim.Engine, cfg RunConfig) Node {
-	r := &dfRun{m: d, workers: make([]dfWorker, d.P.Workers)}
+	r := d.newRun(cfg)
 	r.attach(eng, cfg, r, d.P.RXQueue, d.P.Workers)
 	r.bind(d.Name(), d.P.Workers, d.P.RTT)
 	return r
@@ -115,7 +133,7 @@ func (r *dfRun) admit(lane int, j *job) {
 	r.met.emit(r.eng.Now(), obs.Dispatch, j.id, j.class, int32(lane))
 	wk := &r.workers[lane]
 	if wk.busy {
-		wk.queue.Push(j)
+		wk.queue.Push(j, r.rank.rank(j, r.eng.Now()))
 		return
 	}
 	wk.busy = true
@@ -134,7 +152,7 @@ func (r *dfRun) runJob(w int, j *job) {
 		r.met.record(j, now)
 		r.pool.put(j)
 		wk := &r.workers[w]
-		if next, ok := wk.queue.Pop(); ok {
+		if next, _, ok := wk.queue.Pop(); ok {
 			r.adm.release(w)
 			r.runJob(w, next)
 			return

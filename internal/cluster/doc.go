@@ -12,7 +12,13 @@
 //   - CentralizedPS: the idealized zero-overhead centralized processor
 //     sharing used by the §2 motivation simulations (Figures 1, 2, 4);
 //   - DFCFS: the decentralized-FCFS baseline (per-worker NIC queues, no
-//     preemption, no stealing) — the classic foil to c-FCFS and PS.
+//     preemption, no stealing) — the classic foil to c-FCFS and PS;
+//   - Oracle: a clairvoyant preemptive-SRPT upper bound with zero
+//     mechanism overheads, in the style of Universal Packet
+//     Scheduling's omniscient baseline — it deliberately reads true
+//     service times, which every other machine is forbidden to do, so
+//     the distance between any blind scheduler and it is that
+//     scheduler's optimality gap (experiments.OptimalityGapTable).
 //
 // All models share an event-level abstraction: jobs carry service
 // demands, workers execute quanta serially, and every mechanism cost
@@ -46,6 +52,21 @@
 // without hard-coded constructor lists. Registration also enrolls a
 // machine in the conformance suite, which checks conservation,
 // run-twice determinism, and timeline grammar for every entry.
+//
+// # Queue disciplines
+//
+// The registry has a second dimension besides the quantum: machines
+// whose queues were rewired onto internal/pifo's rank-programmable
+// priority queues (TQ, CentralizedPS, the idealized TLS pair, DFCFS)
+// expose Entry.NewD, which rebuilds them under any pifo discipline —
+// rr, fcfs, srpt, edf, las, prio-age (tqsim -discipline). Each
+// machine's default discipline ranks exactly in its historical queue
+// order (rr pushes by time for PS rotation, fcfs by arrival, las by
+// attained service), so the golden seed-equivalence fixtures prove the
+// rewiring changed no number; a non-default discipline swaps the
+// policy while every mechanism cost stays in place. EDF takes its
+// per-class deadlines from RunConfig.SLOs and degenerates to FCFS
+// without them.
 //
 // Every model also speaks the unified observability vocabulary of
 // internal/obs: set RunConfig.Obs to record a per-quantum scheduling

@@ -127,7 +127,14 @@ func goldenMachines() []struct {
 		{"caladan-directpath", NewCaladan(cal8(Directpath))},
 		{"caladan-best", NewBestCaladan("Short")},
 		{"ct-ps", NewCentralizedPS(8, sim.Micros(2), 0)},
+		{"ct-srpt", NewCentralizedPS(8, sim.Micros(2), 0).WithDiscipline("srpt")},
 		{"d-fcfs", NewDFCFS(df8())},
+		{"oracle-srpt", NewOracle(8)},
+		{"tq-srpt", func() Machine {
+			p := p8()
+			p.Discipline = "srpt"
+			return NewTQ(p)
+		}()},
 		{"tls-jsq-msq", NewIdealTLS(8, sim.Micros(1), BalanceJSQMSQ)},
 		{"tls-jsq-rand", NewIdealTLS(8, sim.Micros(1), BalanceJSQRandom)},
 	}

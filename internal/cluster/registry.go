@@ -29,6 +29,13 @@ type Entry struct {
 	// the quantum per workload (Shinjuku runs at its per-workload sweet
 	// spot; §5.1). Nil for machines without a quantum knob.
 	NewQ func(q sim.Time) Machine
+	// NewD, when non-nil, constructs the machine with an explicit queue
+	// discipline (a pifo.Names name: rr, fcfs, srpt, edf, las,
+	// prio-age) — the second registry dimension, for machines whose
+	// queues were rewired onto internal/pifo. Nil for machines whose
+	// queue order is their identity (Shinjuku's and Caladan's FCFS) or
+	// fixed by construction (the oracle).
+	NewD func(discipline string) Machine
 }
 
 // nodeMachine is implemented by machines that can bind to a shared
@@ -117,12 +124,35 @@ func tqQ(q sim.Time) TQParams {
 	return p
 }
 
+// tqD parameterizes the default TQ configuration by worker discipline.
+func tqD(d string) TQParams {
+	p := NewTQParams()
+	p.Discipline = d
+	return p
+}
+
+// dfD parameterizes the default d-FCFS configuration by queue
+// discipline.
+func dfD(d string) DFCFSParams {
+	p := NewDFCFSParams()
+	p.Discipline = d
+	return p
+}
+
+// tlsD parameterizes the idealized TLS machine by worker discipline.
+func tlsD(balancer BalancerKind, d string) Machine {
+	m := NewIdealTLS(16, sim.Micros(1), balancer)
+	m.P.Discipline = d
+	return NewTQ(m.P).Named(disciplineName(m.Name(), d))
+}
+
 func init() {
 	Register(Entry{
 		Name:    "tq",
 		Summary: "TQ: two-level scheduling + forced multitasking (paper default)",
 		New:     func() Machine { return NewTQ(NewTQParams()) },
 		NewQ:    func(q sim.Time) Machine { return NewTQ(tqQ(q)) },
+		NewD:    func(d string) Machine { return NewTQ(tqD(d)) },
 	})
 	Register(Entry{
 		Name:    "tq-las",
@@ -200,22 +230,31 @@ func init() {
 		Summary: "Idealized centralized processor sharing (free scheduler)",
 		New:     func() Machine { return NewCentralizedPS(16, sim.Micros(2), 0) },
 		NewQ:    func(q sim.Time) Machine { return NewCentralizedPS(16, q, 0) },
+		NewD:    func(d string) Machine { return NewCentralizedPS(16, sim.Micros(2), 0).WithDiscipline(d) },
 	})
 	Register(Entry{
 		Name:    "tls-jsq-msq",
 		Summary: "Idealized two-level scheduling, JSQ with MSQ tie-breaking",
 		New:     func() Machine { return NewIdealTLS(16, sim.Micros(1), BalanceJSQMSQ) },
 		NewQ:    func(q sim.Time) Machine { return NewIdealTLS(16, q, BalanceJSQMSQ) },
+		NewD:    func(d string) Machine { return tlsD(BalanceJSQMSQ, d) },
 	})
 	Register(Entry{
 		Name:    "tls-jsq-rand",
 		Summary: "Idealized two-level scheduling, JSQ with random tie-breaking",
 		New:     func() Machine { return NewIdealTLS(16, sim.Micros(1), BalanceJSQRandom) },
 		NewQ:    func(q sim.Time) Machine { return NewIdealTLS(16, q, BalanceJSQRandom) },
+		NewD:    func(d string) Machine { return tlsD(BalanceJSQRandom, d) },
 	})
 	Register(Entry{
 		Name:    "d-fcfs",
 		Summary: "Decentralized FCFS: per-worker NIC queues, no preemption, no stealing",
 		New:     func() Machine { return NewDFCFS(NewDFCFSParams()) },
+		NewD:    func(d string) Machine { return NewDFCFS(dfD(d)) },
+	})
+	Register(Entry{
+		Name:    "oracle-srpt",
+		Summary: "Clairvoyant preemptive SRPT with zero overheads (UPS-style optimality baseline)",
+		New:     func() Machine { return NewOracle(16) },
 	})
 }

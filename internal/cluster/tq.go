@@ -3,6 +3,7 @@ package cluster
 import (
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/pifo"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -75,6 +76,11 @@ type TQParams struct {
 	// timing by giving classes wrong quanta (1µs for GET, 3µs for
 	// SCAN against a 2µs target, §5.4).
 	QuantumForClass func(workload.Class) sim.Time
+	// Discipline, when non-empty, overrides the worker queue order with
+	// a pifo discipline by name (pifo.Names); it supersedes Policy.
+	// Empty keeps the Policy default: rr (round-robin PS) for PolicyPS,
+	// las for PolicyLAS — both bit-identical to the pre-pifo queues.
+	Discipline string
 }
 
 // NewTQParams returns the paper's default configuration.
@@ -110,7 +116,10 @@ func NewTQ(p TQParams) *TQ {
 	if p.Quantum <= 0 && !p.FCFS {
 		panic("cluster: TQ quantum must be positive")
 	}
-	return &TQ{P: p, name: "TQ"}
+	if p.Discipline != "" {
+		parseDiscipline(p.Discipline, pifo.RR) // panic on a bad name now
+	}
+	return &TQ{P: p, name: disciplineName("TQ", p.Discipline)}
 }
 
 // Named sets the report name (used for variants like "TQ-IC").
@@ -119,13 +128,16 @@ func (t *TQ) Named(name string) *TQ { t.name = name; return t }
 // Name implements Machine.
 func (t *TQ) Name() string { return t.name }
 
-// tqWorker is one simulated worker core.
+// tqWorker is one simulated worker core. Both queues are pifo heaps
+// under the run's discipline: runnable replaces the old FIFO/LASQueue
+// pair (rr reproduces FIFO's order exactly, las the LASQueue's), and
+// waiting stays effectively FIFO under the defaults because dispatch
+// pushes are monotonic in time.
 type tqWorker struct {
-	active  core.FIFO[*job]     // busy coroutines, PS order
-	las     core.LASQueue[*job] // busy coroutines, LAS order
-	waiting core.FIFO[*job]     // dispatch queue (no free coroutine yet)
-	idle    int                 // idle coroutine count
-	running bool
+	runnable pifo.Queue[*job] // busy coroutines, discipline order
+	waiting  pifo.Queue[*job] // dispatch queue (no free coroutine yet)
+	idle     int              // idle coroutine count
+	running  bool
 	// Worker-side statistics the dispatcher reads (§4). finished wraps
 	// like a fixed-width counter would; the dispatcher recovers totals
 	// by deltas.
@@ -133,28 +145,26 @@ type tqWorker struct {
 	curQuanta int64 // quanta serviced for current (unfinished) jobs
 }
 
-// pushRunnable enqueues a busy coroutine in policy order.
-func (wk *tqWorker) pushRunnable(p WorkerPolicy, j *job) {
-	if p == PolicyLAS {
-		wk.las.Push(j, int64(j.service-j.remain))
-		return
-	}
-	wk.active.Push(j)
+// pushRunnable enqueues a busy coroutine in discipline order.
+//
+//simvet:hotpath
+func (r *tqRun) pushRunnable(wk *tqWorker, j *job) {
+	wk.runnable.Push(j, r.rank.rank(j, r.eng.Now()))
 }
 
-// popRunnable dequeues the next coroutine to resume in policy order.
-func (wk *tqWorker) popRunnable(p WorkerPolicy) (*job, bool) {
-	if p == PolicyLAS {
-		j, _, ok := wk.las.Pop()
-		return j, ok
-	}
-	return wk.active.Pop()
+// popRunnable dequeues the next coroutine to resume.
+//
+//simvet:hotpath
+func (r *tqRun) popRunnable(wk *tqWorker) (*job, bool) {
+	j, _, ok := wk.runnable.Pop()
+	return j, ok
 }
 
 type tqRun struct {
 	machineRun
 	m       *TQ
 	rand    *rng.Rand
+	rank    ranker
 	workers []tqWorker
 	tracker *core.LoadTracker
 	bal     core.Balancer
@@ -192,9 +202,14 @@ func (t *TQ) RunMeasured(cfg RunConfig) (*Result, *stats.Sample) {
 // the generator draw (and discards it) so both forms see the same
 // per-seed stream layout.
 func (t *TQ) newRun(cfg RunConfig) (*tqRun, *workload.Generator) {
+	def := pifo.RR
+	if t.P.Policy == PolicyLAS {
+		def = pifo.LAS
+	}
 	r := &tqRun{
 		m:       t,
 		rand:    rng.New(cfg.Seed),
+		rank:    newRanker(parseDiscipline(t.P.Discipline, def), cfg),
 		workers: make([]tqWorker, t.P.Workers),
 		tracker: core.NewLoadTracker(t.P.Workers, 32),
 	}
@@ -318,7 +333,7 @@ func (r *tqRun) dispatch(j *job) {
 	r.emit(trace.Event{T: r.eng.Now(), Kind: trace.Dispatch, Job: j.id, Class: int(j.class), Worker: w})
 	r.met.emit(r.eng.Now(), obs.Dispatch, j.id, j.class, int32(w))
 	wk := &r.workers[w]
-	wk.waiting.Push(j)
+	wk.waiting.Push(j, r.rank.rank(j, r.eng.Now()))
 	if !wk.running {
 		r.kick(w)
 	}
@@ -344,15 +359,15 @@ func (r *tqRun) step(w int) {
 	// the next quantum.
 	var admitCost sim.Time
 	for wk.idle > 0 {
-		j, ok := wk.waiting.Pop()
+		j, _, ok := wk.waiting.Pop()
 		if !ok {
 			break
 		}
 		wk.idle--
-		wk.pushRunnable(r.m.P.Policy, j)
+		r.pushRunnable(wk, j)
 		admitCost += r.m.P.ParseCost
 	}
-	j, ok := wk.popRunnable(r.m.P.Policy)
+	j, ok := r.popRunnable(wk)
 	if !ok {
 		wk.running = false
 		return
@@ -401,7 +416,7 @@ func (r *tqRun) step(w int) {
 			// TQ's forced multitasking shows up as probe-yield, never as
 			// an interrupt-style preempt.
 			r.met.emit(end, obs.ProbeYield, j.id, j.class, int32(w))
-			wk.pushRunnable(r.m.P.Policy, j)
+			r.pushRunnable(wk, j)
 		}
 		r.step(w)
 	})

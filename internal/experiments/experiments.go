@@ -198,6 +198,13 @@ type SystemComparison struct {
 	// show it. Without Scale.SLOs, goodput equals throughput.
 	Goodput  []stats.Series
 	DropRate []stats.Series
+	// OptimalityGap, when set (CompareMachines fills it; the figure
+	// drivers leave it nil), maps class name to one curve per system of
+	// (rate, p99 sojourn ÷ oracle-srpt's p99 sojourn at the same rate) —
+	// the UPS-style distance from the clairvoyant baseline. 1.0 means
+	// the blind scheduler matched the oracle; a point is 0 when the
+	// oracle recorded no completions for the class at that rate.
+	OptimalityGap map[string][]stats.Series
 }
 
 // system is one column of a cross-system comparison: a display label
@@ -231,14 +238,25 @@ func compareSystems(sc Scale, w *workload.Workload, shinjukuQ sim.Time, classes 
 		registrySystem("Shinjuku", "shinjuku", shinjukuQ),
 		{label: "Caladan", mf: func() cluster.Machine { return cluster.NewBestCaladan(classes[0]) }},
 	}
-	return compareMachines(sc, w, classes, slowdown, systems)
+	return compareMachines(sc, w, classes, slowdown, false, systems)
 }
 
 // CompareMachines sweeps registry machines (default parameters, display
 // names as labels) side by side over the workload — the registry-driven
 // generalization behind tqsim -machines. Classes defaulting to all of
-// the workload's.
+// the workload's. The comparison carries OptimalityGap curves against
+// the clairvoyant oracle-srpt baseline.
 func CompareMachines(sc Scale, w *workload.Workload, classes []string, names ...string) SystemComparison {
+	return CompareMachinesD(sc, w, classes, "", names...)
+}
+
+// CompareMachinesD is CompareMachines with the registry's second
+// dimension: a non-empty discipline (a pifo name: rr, fcfs, srpt, edf,
+// las, prio-age) builds every named machine through its Entry.NewD
+// constructor. It panics if a named entry has no discipline knob —
+// callers exposing this to users (tqsim -discipline) pre-check NewD and
+// report the offending name instead.
+func CompareMachinesD(sc Scale, w *workload.Workload, classes []string, discipline string, names ...string) SystemComparison {
 	if len(classes) == 0 {
 		for _, c := range w.Classes {
 			classes = append(classes, c.Name)
@@ -247,14 +265,25 @@ func CompareMachines(sc Scale, w *workload.Workload, classes []string, names ...
 	var systems []system
 	for _, n := range names {
 		e := cluster.MustLookup(n)
-		systems = append(systems, system{label: e.New().Name(), mf: e.New})
+		mf := e.New
+		if discipline != "" {
+			if e.NewD == nil {
+				panic("experiments: machine " + n + " has no discipline knob (Entry.NewD is nil)")
+			}
+			d := discipline
+			mf = func() cluster.Machine { return e.NewD(d) }
+		}
+		systems = append(systems, system{label: mf().Name(), mf: mf})
 	}
-	return compareMachines(sc, w, classes, false, systems)
+	return compareMachines(sc, w, classes, false, true, systems)
 }
 
 // compareMachines runs one sweep per system and assembles the figure's
-// latency, slowdown, goodput, and drop-rate curves.
-func compareMachines(sc Scale, w *workload.Workload, classes []string, slowdown bool, systems []system) SystemComparison {
+// latency, slowdown, goodput, and drop-rate curves. With withGap it
+// additionally sweeps the clairvoyant oracle-srpt baseline over the
+// same rates and fills OptimalityGap; the paper-figure drivers pass
+// false so Figures 7-10 stay byte-identical to the pre-oracle harness.
+func compareMachines(sc Scale, w *workload.Workload, classes []string, slowdown, withGap bool, systems []system) SystemComparison {
 	rates := cluster.RatesUpTo(0.98*w.MaxLoad(16), sc.Points)
 	cmp := SystemComparison{Workload: w.Name, PerClass: map[string][]stats.Series{}}
 
@@ -274,7 +303,66 @@ func compareMachines(sc Scale, w *workload.Workload, classes []string, slowdown 
 		cmp.Goodput = append(cmp.Goodput, cluster.GoodputSeries(s.label, results[i]))
 		cmp.DropRate = append(cmp.DropRate, cluster.DropRateSeries(s.label, results[i]))
 	}
+	if withGap {
+		oracle := sc.sweep(cluster.MustLookup("oracle-srpt").New, w, rates)
+		cmp.OptimalityGap = map[string][]stats.Series{}
+		for _, class := range classes {
+			for i, s := range systems {
+				cmp.OptimalityGap[class] = append(cmp.OptimalityGap[class],
+					gapSeries(s.label, class, results[i], oracle))
+			}
+		}
+	}
 	return cmp
+}
+
+// gapSeries divides a system's p99 sojourn curve by the oracle's,
+// point by point. p99 rather than p99.9: the gap table reads at two
+// rates, and the coarser tail is stable at test scales too.
+func gapSeries(label, class string, sys, oracle []*cluster.Result) stats.Series {
+	s := stats.Series{Label: label}
+	for i, r := range sys {
+		base := oracle[i].P99SojournUs(class)
+		g := 0.0
+		if base > 0 {
+			g = r.P99SojournUs(class) / base
+		}
+		s.Append(r.Config.Rate, g)
+	}
+	return s
+}
+
+// GapRow is one machine's optimality gap at the two headline operating
+// points: mid-load (55% of the 16-core saturation rate) and the
+// overload knee (90% — where the baselines' tails have blown up but no
+// RX ring drops yet, so survivor-only percentiles are still honest;
+// past saturation a machine that sheds load reports flattened tails
+// over its survivors and the ratio stops meaning anything).
+type GapRow struct {
+	// Name is the registry key; Display the machine's Name().
+	Name, Display string
+	// Mid and Over are p99-sojourn ratios vs oracle-srpt for the table's
+	// class (0 when the oracle saw no completions for the class).
+	Mid, Over float64
+}
+
+// OptimalityGapTable runs every named registry machine and the
+// clairvoyant oracle at mid-load and the overload knee on the workload
+// and returns one gap row per machine for the given class — the
+// UPS-style "price of blindness" table EXPERIMENTS.md records. The
+// oracle's own row is the sanity check: identical sweeps divide to
+// exactly 1.
+func OptimalityGapTable(sc Scale, w *workload.Workload, class string, names ...string) []GapRow {
+	rates := []float64{0.55 * w.MaxLoad(16), 0.9 * w.MaxLoad(16)}
+	oracle := sc.sweep(cluster.MustLookup("oracle-srpt").New, w, rates)
+	rows := make([]GapRow, 0, len(names))
+	for _, n := range names {
+		e := cluster.MustLookup(n)
+		res := sc.sweep(e.New, w, rates)
+		g := gapSeries(n, class, res, oracle)
+		rows = append(rows, GapRow{Name: n, Display: e.New().Name(), Mid: g.Y[0], Over: g.Y[1]})
+	}
+	return rows
 }
 
 // Fig7 reproduces Figure 7: TQ vs Shinjuku vs Caladan on Extreme and

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/instrument"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -349,4 +351,69 @@ func TestTable3Smoke(t *testing.T) {
 	if means[instrument.TechTQ].OverheadPct >= means[instrument.TechCI].OverheadPct {
 		t.Fatal("TQ mean overhead not below CI")
 	}
+}
+
+// TestOptimalityGapAllRegistryFinite is the acceptance check for the
+// UPS-style baseline: every registry entry produces a finite, positive
+// optimality gap against oracle-srpt at both operating points, and the
+// oracle's own row — identical sweeps divided by themselves — is
+// exactly 1 at both.
+func TestOptimalityGapAllRegistryFinite(t *testing.T) {
+	sc := tiny
+	sc.Duration = 10 * sim.Millisecond
+	sc.Warmup = sim.Millisecond
+	rows := OptimalityGapTable(sc, workload.HighBimodal(), "Short", cluster.Names()...)
+	if len(rows) != len(cluster.Names()) {
+		t.Fatalf("got %d rows, want one per registry entry (%d)", len(rows), len(cluster.Names()))
+	}
+	for _, r := range rows {
+		for _, g := range []float64{r.Mid, r.Over} {
+			if math.IsNaN(g) || math.IsInf(g, 0) || g <= 0 {
+				t.Errorf("%s (%s): non-finite or non-positive gap %v", r.Name, r.Display, g)
+			}
+		}
+		if r.Name == "oracle-srpt" && (r.Mid != 1 || r.Over != 1) {
+			t.Errorf("oracle's own gap is %v/%v, want exactly 1/1 (determinism broke)", r.Mid, r.Over)
+		}
+	}
+}
+
+// TestCompareMachinesGapCurves checks that CompareMachines fills
+// OptimalityGap (one curve per machine per class, one point per rate)
+// and that CompareMachinesD routes construction through Entry.NewD.
+func TestCompareMachinesGapCurves(t *testing.T) {
+	sc := tiny
+	sc.Duration = 10 * sim.Millisecond
+	sc.Warmup = sim.Millisecond
+	sc.Points = 3
+	w := workload.HighBimodal()
+
+	cmp := CompareMachinesD(sc, w, nil, "srpt", "tq", "d-fcfs")
+	for _, class := range []string{"Short", "Long"} {
+		curves := cmp.OptimalityGap[class]
+		if len(curves) != 2 {
+			t.Fatalf("class %s: %d gap curves, want 2", class, len(curves))
+		}
+		for _, s := range curves {
+			if len(s.Y) != sc.Points {
+				t.Fatalf("%s/%s: %d gap points, want %d", class, s.Label, len(s.Y), sc.Points)
+			}
+			for _, g := range s.Y {
+				if math.IsNaN(g) || math.IsInf(g, 0) || g <= 0 {
+					t.Errorf("%s/%s: non-finite gap %v", class, s.Label, g)
+				}
+			}
+		}
+	}
+	// Labels must carry the discipline suffix NewD applies.
+	if got := cmp.OptimalityGap["Short"][0].Label; got == cluster.MustLookup("tq").New().Name() {
+		t.Errorf("disciplined label %q does not reflect the srpt rewiring", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("CompareMachinesD on a machine without NewD did not panic")
+		}
+	}()
+	CompareMachinesD(sc, w, nil, "srpt", "shinjuku")
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package pifo
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-guard tests skip under it (instrumentation allocates).
+const raceEnabled = false
