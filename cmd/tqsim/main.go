@@ -48,6 +48,9 @@ func main() {
 	discipline := flag.String("discipline", "", `queue discipline for -machines (machines with a discipline knob only); "list" prints the catalogue`)
 	gap := flag.Bool("gap", false, "print the optimality-gap table (p99 sojourn vs the clairvoyant oracle-srpt) for the -machines list (default: every registry machine) on -workload")
 	workloadName := flag.String("workload", "HighBimodal", "workload for -machines and -rack (names as in -fig table1)")
+	arrivals := flag.String("arrivals", "", `arrival process for every sweep, e.g. "mmpp:burst=10,duty=0.1,cycle=1ms"; empty = the paper's Poisson; "list" prints the catalogue`)
+	svc := flag.String("svc", "", `single-class service law overriding -workload for -machines/-gap/-rack, e.g. "pareto:mean=10us,alpha=1.4"; "list" prints the catalogue`)
+	tenants := flag.String("tenants", "", `tenant split "name=ratio[@share],..." e.g. "big=0.9@0.5,small=0.1@0.25"; adds per-tenant ledgers to every run`)
 	rackN := flag.Int("rack", 0, "fleet size: sweep -route routing policies over N-machine fleets of each -machines machine (default fleet machine: tq)")
 	route := flag.String("route", "random,p2c,least,sew", `comma-separated routing policies for -rack; "list" prints the catalogue`)
 	flag.Parse()
@@ -70,6 +73,18 @@ func main() {
 	}
 	if *discipline == "list" {
 		for _, n := range pifo.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *arrivals == "list" {
+		for _, n := range workload.ArrivalNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *svc == "list" {
+		for _, n := range workload.ServiceNames() {
 			fmt.Println(n)
 		}
 		return
@@ -109,6 +124,31 @@ func main() {
 		}
 		sc.SLOs = slos
 		showGoodput = true
+	}
+	if *arrivals != "" {
+		// Validate the spec up front (any positive rate does) so typos
+		// fail here with the parser's message, not mid-sweep as a panic.
+		if _, err := workload.ParseArrivals(*arrivals, 1e6); err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(2)
+		}
+		sc.Arrivals = *arrivals
+	}
+	if *tenants != "" {
+		ts, err := workload.ParseTenants(*tenants)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(2)
+		}
+		sc.Tenants = ts
+	}
+	if *svc != "" {
+		w, err := workload.FromLaw(*svc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tqsim:", err)
+			os.Exit(2)
+		}
+		svcWorkload = w
 	}
 	if *progress {
 		sc.Progress = func(p cluster.SweepPoint) {
@@ -349,8 +389,17 @@ func runRack(sc experiments.Scale, n int, routeList, machineList, workloadName s
 	return nil
 }
 
-// findWorkload resolves a workload by its Table 1 name.
+// svcWorkload, when non-nil, is the single-class workload built from
+// the -svc service-law spec; it overrides -workload wherever a
+// workload is resolved by name.
+var svcWorkload *workload.Workload
+
+// findWorkload resolves a workload by its Table 1 name, unless a -svc
+// law already built one.
 func findWorkload(name string) (*workload.Workload, error) {
+	if svcWorkload != nil {
+		return svcWorkload, nil
+	}
 	var known []string
 	for _, w := range workload.All() {
 		if strings.EqualFold(w.Name, name) {
@@ -481,6 +530,17 @@ func printComparison(cmp experiments.SystemComparison) {
 	if anyNonZero(cmp.DropRate) {
 		fmt.Printf("## %s / drop rate\n", cmp.Workload)
 		printSeries(cmp.DropRate)
+	}
+	if cmp.PerTenant != nil {
+		tenantNames := make([]string, 0, len(cmp.PerTenant))
+		for tn := range cmp.PerTenant {
+			tenantNames = append(tenantNames, tn)
+		}
+		sort.Strings(tenantNames)
+		for _, tn := range tenantNames {
+			fmt.Printf("## %s / tenant %s p99.9 sojourn(µs)\n", cmp.Workload, tn)
+			printSeries(cmp.PerTenant[tn])
+		}
 	}
 	if cmp.OptimalityGap != nil {
 		gapClasses := make([]string, 0, len(cmp.OptimalityGap))

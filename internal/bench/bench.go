@@ -20,6 +20,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pifo"
 	"repro/internal/rack"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -131,6 +132,10 @@ func Validate(r *Report) error {
 		return fmt.Errorf("kernel/arrival-pump allocates: %d allocs/op (exact %f), want 0",
 			pump.AllocsInt, pump.AllocsPerOp)
 	}
+	if s := find(r, "workload/arrival-stream"); s.AllocsInt != 0 {
+		return fmt.Errorf("workload/arrival-stream allocates: %d allocs/op (exact %f), want 0",
+			s.AllocsInt, s.AllocsPerOp)
+	}
 	return nil
 }
 
@@ -187,6 +192,7 @@ var matrix = []matrixBench{
 	{"engine/heap-churn", 2_000_000, 200_000, benchHeapChurn},
 	{"pifo/push-pop", 2_000_000, 200_000, benchPifoChurn},
 	{"kernel/arrival-pump", 1_000_000, 100_000, benchArrivalPump},
+	{"workload/arrival-stream", 2_000_000, 200_000, benchArrivalStream},
 	{"machine/tq-run", 20, 5, benchTQRun},
 	{"machine/shinjuku-run", 20, 5, benchShinjukuRun},
 	{"obs/tq-run-traced", 20, 5, benchTQRunTraced},
@@ -242,6 +248,30 @@ func benchPifoChurn(n int) Result {
 	pifo.Churn(churnDepth, n/10, 61) // warm the queue's item storage
 	return measure(int64(n), "1024-deep push/pop churn, rank-programmable PIFO queue", func() {
 		pifo.Churn(churnDepth, n, 61)
+	})
+}
+
+// benchArrivalStream measures the composed workload stream alone — the
+// arrival-process × service-sampler × tenant-pick path, no engine — on
+// the TPC-C mix under MMPP bursts with a two-tenant table, the
+// costliest composition the plane offers. Steady state must stay
+// allocation-free (Validate pins allocsPerOpInt == 0), matching the
+// pump's guarantee one layer down.
+func benchArrivalStream(n int) Result {
+	w := workload.TPCC()
+	spec := workload.Spec{
+		Workload: w,
+		Rate:     0.6 * w.MaxLoad(16),
+		Arrivals: "mmpp:burst=10,duty=0.1,cycle=1ms",
+		Tenants: []workload.Tenant{
+			{Name: "big", Ratio: 0.9, Share: 0.5},
+			{Name: "small", Ratio: 0.1, Share: 0.25},
+		},
+	}
+	s := spec.Stream(rng.New(61))
+	workload.StreamChurn(s, n/10) // warm the stream into steady state
+	return measure(int64(n), "composed TPCC stream: mmpp bursts, two tenants; allocsPerOpInt must be 0", func() {
+		workload.StreamChurn(s, n)
 	})
 }
 

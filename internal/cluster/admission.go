@@ -1,6 +1,9 @@
 package cluster
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
 
 // admission is the shared overload-accounting gate every machine's
 // arrive path goes through. It models the bounded NIC RX stage — a
@@ -16,11 +19,24 @@ import "repro/internal/sim"
 // processing, Caladan IOKernel) that is when the stage picks the
 // request up, so the occupancy is exactly the unprocessed backlog in
 // requests.
+//
+// Tenant shares (workload.Tenant.Share) partition the gate's total
+// capacity: a tenant with a positive share always has its reserved
+// slots available, while the unreserved remainder is a common pool —
+// so a noisy neighbor can exhaust the pool but never a reserved
+// tenant's slice. With no shares configured the tenant path is a nil
+// check and admission behaves exactly as before.
 type admission struct {
 	warmup  sim.Time
 	limit   int // per-lane capacity in requests; <= 0 means unbounded
 	pending []int
 	dropped uint64 // post-warmup drops (see metrics.record for the window)
+
+	// Tenant-share partitioning; resv is nil when no tenant reserves.
+	resv     []int // per-tenant reserved slots (0 = unreserved)
+	inring   []int // per-tenant occupancy, summed over lanes
+	freeCap  int   // unreserved slots: capacity − Σresv
+	freeUsed int   // occupancy charged to the unreserved pool
 }
 
 func newAdmission(warmup sim.Time, limit, lanes int) *admission {
@@ -30,15 +46,59 @@ func newAdmission(warmup sim.Time, limit, lanes int) *admission {
 	return &admission{warmup: warmup, limit: limit, pending: make([]int, lanes)}
 }
 
-// tryAdmit reports whether the lane can accept a request arriving at
-// the given time. A full lane books a drop — only post-warmup, so the
-// drop count shares the measurement window of metrics.record: a drop
-// resolves at its arrival instant, and arrivals never occur after
-// Duration, so gating on arrival alone applies the same
-// [Warmup, Duration] window that completions get.
+// shares installs per-tenant slot reservations over the gate's total
+// capacity (limit × lanes). A positive share reserves
+// round(share·capacity) slots, at least one; the rest form the common
+// pool every tenant overflows into. No-op for unbounded gates or when
+// no tenant reserves.
+func (a *admission) shares(tenants []workload.Tenant) {
+	if a.limit <= 0 {
+		return
+	}
+	reserving := false
+	for _, t := range tenants {
+		if t.Share > 0 {
+			reserving = true
+			break
+		}
+	}
+	if !reserving {
+		return
+	}
+	capacity := a.limit * len(a.pending)
+	a.resv = make([]int, len(tenants))
+	a.inring = make([]int, len(tenants))
+	total := 0
+	for i, t := range tenants {
+		if t.Share <= 0 {
+			continue
+		}
+		n := int(t.Share*float64(capacity) + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		a.resv[i] = n
+		total += n
+	}
+	a.freeCap = capacity - total
+	if a.freeCap < 0 {
+		// Rounding on a tiny ring can over-reserve; the common pool
+		// cannot go negative, it is just empty.
+		a.freeCap = 0
+	}
+}
+
+// tryAdmit reports whether the lane can accept a tenant's request
+// arriving at the given time. A full lane — or, with shares installed,
+// a tenant past its reservation finding the common pool exhausted —
+// books a drop. Drops count only post-warmup, so the drop count shares
+// the measurement window of metrics.record: a drop resolves at its
+// arrival instant, and arrivals never occur after Duration, so gating
+// on arrival alone applies the same [Warmup, Duration] window that
+// completions get.
 //
 //simvet:hotpath
-func (a *admission) tryAdmit(lane int, arrival sim.Time) bool {
+func (a *admission) tryAdmit(lane, tenant int, arrival sim.Time) bool {
 	if a.limit <= 0 {
 		return true
 	}
@@ -48,18 +108,33 @@ func (a *admission) tryAdmit(lane int, arrival sim.Time) bool {
 		}
 		return false
 	}
+	if a.resv != nil {
+		switch {
+		case a.inring[tenant] < a.resv[tenant]:
+			// Within the tenant's reserved slice.
+		case a.freeUsed < a.freeCap:
+			a.freeUsed++
+		default:
+			if arrival >= a.warmup {
+				a.dropped++
+			}
+			return false
+		}
+		a.inring[tenant]++
+	}
 	a.pending[lane]++
 	return true
 }
 
-// release frees one slot of the lane: the bounded stage has picked the
-// request up. Machines with unbounded admission never call it. A
-// release without a matching tryAdmit is a machine-model bug — letting
-// occupancy go negative would silently widen the RX bound for the rest
-// of the run — so underflow panics, like a misregistered machine does.
+// release frees one slot of the lane for the given tenant: the bounded
+// stage has picked the request up. Machines with unbounded admission
+// never call it. A release without a matching tryAdmit is a
+// machine-model bug — letting occupancy go negative would silently
+// widen the RX bound for the rest of the run — so underflow panics,
+// like a misregistered machine does.
 //
 //simvet:hotpath
-func (a *admission) release(lane int) {
+func (a *admission) release(lane, tenant int) {
 	if a.limit <= 0 {
 		return
 	}
@@ -67,4 +142,13 @@ func (a *admission) release(lane int) {
 		panic("cluster: admission.release without matching tryAdmit (RX occupancy underflow)")
 	}
 	a.pending[lane]--
+	if a.resv != nil {
+		if a.inring[tenant] <= 0 {
+			panic("cluster: admission.release tenant occupancy underflow")
+		}
+		if a.inring[tenant] > a.resv[tenant] {
+			a.freeUsed--
+		}
+		a.inring[tenant]--
+	}
 }

@@ -8,24 +8,24 @@ import "testing"
 // dropping again). It now panics at the buggy release.
 func TestAdmissionReleaseUnderflowPanics(t *testing.T) {
 	a := newAdmission(0, 4, 2)
-	if !a.tryAdmit(1, 0) {
+	if !a.tryAdmit(1, 0, 0) {
 		t.Fatal("empty lane refused a request")
 	}
-	a.release(1) // matched: fine
+	a.release(1, 0) // matched: fine
 	defer func() {
 		if recover() == nil {
 			t.Fatal("unmatched release did not panic")
 		}
 	}()
-	a.release(1)
+	a.release(1, 0)
 }
 
 // Unbounded gates (limit <= 0) track no occupancy, so release stays a
 // no-op there — machines with free admission may release or not.
 func TestAdmissionUnboundedReleaseIsNoop(t *testing.T) {
 	a := newAdmission(0, 0, 1)
-	a.release(0)
-	if !a.tryAdmit(0, 0) {
+	a.release(0, 0)
+	if !a.tryAdmit(0, 0, 0) {
 		t.Fatal("unbounded gate refused a request")
 	}
 }
@@ -34,17 +34,17 @@ func TestAdmissionUnboundedReleaseIsNoop(t *testing.T) {
 // lane, the next arrival drops, and one release reopens one slot.
 func TestAdmissionBoundIsExact(t *testing.T) {
 	a := newAdmission(0, 2, 1)
-	if !a.tryAdmit(0, 0) || !a.tryAdmit(0, 0) {
+	if !a.tryAdmit(0, 0, 0) || !a.tryAdmit(0, 0, 0) {
 		t.Fatal("lane refused requests under its limit")
 	}
-	if a.tryAdmit(0, 0) {
+	if a.tryAdmit(0, 0, 0) {
 		t.Fatal("full lane admitted a request")
 	}
 	if a.dropped != 1 {
 		t.Fatalf("dropped = %d, want 1", a.dropped)
 	}
-	a.release(0)
-	if !a.tryAdmit(0, 0) {
+	a.release(0, 0)
+	if !a.tryAdmit(0, 0, 0) {
 		t.Fatal("released slot not reusable")
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // CaladanMode selects how packets reach worker cores.
@@ -121,7 +120,7 @@ func (c *Caladan) newRun(cfg RunConfig) (*calRun, int) {
 // Run implements Machine.
 func (c *Caladan) Run(cfg RunConfig) *Result {
 	r, limit := c.newRun(cfg)
-	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), limit, 1)
+	r.init(cfg, r, cfg.Stream(rng.New(cfg.Seed)), limit, 1)
 	return r.run(c.Name(), c.P.RTT)
 }
 
@@ -157,7 +156,7 @@ func (r *calRun) admit(lane int, j *job) {
 		}
 		r.iokBusyUntil += r.m.P.IOKCost
 		r.eng.At(r.iokBusyUntil, func() {
-			r.adm.release(lane)
+			r.adm.release(lane, j.tenant)
 			r.deliver(w, j)
 		})
 	} else {

@@ -5,7 +5,6 @@ import (
 	"repro/internal/pifo"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // CentralizedPS is the idealized centralized processor-sharing system
@@ -76,7 +75,7 @@ func (c *CentralizedPS) Run(cfg RunConfig) *Result {
 	// The idealized scheduler has no bounded RX stage (limit 0): the
 	// gate admits everything, but the arrive path still goes through it
 	// so Offered/Dropped accounting is uniform across machine models.
-	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), 0, 1)
+	r.init(cfg, r, cfg.Stream(rng.New(cfg.Seed)), 0, 1)
 	return r.run(c.Name(), 0)
 }
 

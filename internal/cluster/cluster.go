@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -14,6 +15,7 @@ import (
 type job struct {
 	id      uint64
 	class   workload.Class
+	tenant  int // index into the spec's tenant table (0 = anonymous)
 	arrival sim.Time
 	service sim.Time // demand after probe-overhead inflation
 	base    sim.Time // original demand, for slowdown accounting
@@ -60,11 +62,23 @@ func (p *jobPool) put(j *job) {
 }
 
 // RunConfig describes one simulated experiment: a workload arriving at
-// a fixed open-loop rate for a fixed virtual duration.
+// a fixed open-loop rate for a fixed virtual duration. The optional
+// Arrivals and Tenants fields open the other workload axes; their zero
+// values reproduce the paper's client (open-loop Poisson, one
+// anonymous tenant) exactly.
 type RunConfig struct {
 	Workload *workload.Workload
 	// Rate is the offered load in requests per second.
 	Rate float64
+	// Arrivals names the arrival process ("" = "poisson"); see
+	// workload.ParseArrivals for the catalogue ("mmpp:burst=10,duty=0.1",
+	// "diurnal:amp=0.8,period=100ms", "closed:users=64,think=100us").
+	Arrivals string
+	// Tenants, when non-empty, splits traffic among named tenants with
+	// per-tenant admission shares; completions and drops are then also
+	// aggregated per tenant (Result.PerTenant), and SLOs accepts
+	// tenant-scoped keys ("tenant:class", "tenant:*").
+	Tenants []workload.Tenant
 	// Duration is the simulated run length; requests stop arriving at
 	// Duration but in-flight jobs may still complete afterwards.
 	Duration sim.Time
@@ -102,6 +116,44 @@ func (c RunConfig) validate() {
 	if c.Duration <= 0 || c.Warmup < 0 || c.Warmup >= c.Duration {
 		panic("cluster: invalid Duration/Warmup")
 	}
+	if err := c.spec().Validate(); err != nil {
+		panic("cluster: " + err.Error())
+	}
+}
+
+// spec composes the config's workload axes into the workload.Spec the
+// stream is built from.
+func (c RunConfig) spec() workload.Spec {
+	return workload.Spec{Workload: c.Workload, Rate: c.Rate, Arrivals: c.Arrivals, Tenants: c.Tenants}
+}
+
+// Stream materializes the config's composed request stream drawing
+// from r. Every machine's standalone run, the rack fleet, and the
+// benches construct their arrival stream through this one call (which
+// defers to workload.Spec.Stream) — per-machine code chooses only
+// which RNG stream feeds it, so the per-seed draw order stays explicit
+// in the machine while stream construction cannot drift between
+// layers.
+func (c RunConfig) Stream(r *rng.Rand) *workload.Stream {
+	return c.spec().Stream(r)
+}
+
+// TenantMetrics aggregates one tenant's traffic across all classes —
+// the per-tenant view of the same measurement window ClassMetrics
+// covers, including the tenant's own conservation law
+// Offered == Completed + Dropped.
+type TenantMetrics struct {
+	Name string
+	// Offered counts the tenant's resolved in-window requests.
+	Offered uint64
+	// Completed counts the tenant's post-warmup completions.
+	Completed uint64
+	// Dropped counts the tenant's post-warmup RX-ring drops.
+	Dropped uint64
+	// Good counts completions within the tenant's SLO target (SLOs keys
+	// "tenant:class" and "tenant:*" override class-level targets).
+	Good    uint64
+	Sojourn *stats.Sample // ns, pooled across the tenant's classes
 }
 
 // ClassMetrics aggregates completions of one request class.
@@ -120,6 +172,9 @@ type Result struct {
 	System   string
 	Config   RunConfig
 	PerClass []ClassMetrics
+	// PerTenant aggregates each tenant's traffic when the config defines
+	// tenants; nil otherwise.
+	PerTenant []TenantMetrics
 	// Completed counts post-warmup completions; Throughput is
 	// Completed divided by the post-warmup window, in requests/second.
 	Completed  uint64
@@ -155,6 +210,17 @@ func (r *Result) Class(name string) *ClassMetrics {
 	for i := range r.PerClass {
 		if r.PerClass[i].Name == name {
 			return &r.PerClass[i]
+		}
+	}
+	return nil
+}
+
+// Tenant returns the metrics for the tenant with the given name, or
+// nil when the run had no such tenant.
+func (r *Result) Tenant(name string) *TenantMetrics {
+	for i := range r.PerTenant {
+		if r.PerTenant[i].Name == name {
+			return &r.PerTenant[i]
 		}
 	}
 	return nil
@@ -218,7 +284,12 @@ type metrics struct {
 	done     uint64
 	good     uint64
 	slo      []sim.Time // per-class sojourn target; 0 = none
-	adm      *admission
+	// perTenant and tslo exist only when the config defines tenants:
+	// tslo is the tenant-scoped target table indexed tenant*nClasses +
+	// class, which then replaces slo for goodput accounting.
+	perTenant []TenantMetrics
+	tslo      []sim.Time
+	adm       *admission
 
 	// obsBatch and obsBuf batch emissions toward recorders that accept
 	// batches (obs.BatchRecorder): events accumulate in obsBuf and flush
@@ -248,6 +319,15 @@ func newMetrics(cfg RunConfig) *metrics {
 		})
 	}
 	m.slo = sloTargets(cfg)
+	for _, t := range cfg.Tenants {
+		m.perTenant = append(m.perTenant, TenantMetrics{
+			Name:    t.Name,
+			Sojourn: stats.NewSample(1024),
+		})
+	}
+	if len(cfg.Tenants) > 0 {
+		m.tslo = sloTenantTargets(cfg)
+	}
 	return m
 }
 
@@ -257,6 +337,7 @@ func newMetrics(cfg RunConfig) *metrics {
 // admits everything and tracks nothing).
 func (m *metrics) admission(limit, lanes int) *admission {
 	m.adm = newAdmission(m.cfg.Warmup, limit, lanes)
+	m.adm.shares(m.cfg.Tenants)
 	return m.adm
 }
 
@@ -312,12 +393,37 @@ func (m *metrics) record(j *job, now sim.Time) {
 	c.Count++
 	m.done++
 	sojourn := now - j.arrival
-	if target := m.slo[j.class]; target == 0 || sojourn <= target {
+	target := m.slo[j.class]
+	if m.tslo != nil {
+		target = m.tslo[j.tenant*len(m.perClass)+int(j.class)]
+	}
+	good := target == 0 || sojourn <= target
+	if good {
 		c.Good++
 		m.good++
 	}
 	c.Sojourn.Add(float64(sojourn))
 	c.Slowdown.Add(float64(sojourn) / float64(j.base))
+	if len(m.perTenant) > 0 {
+		tm := &m.perTenant[j.tenant]
+		tm.Completed++
+		if good {
+			tm.Good++
+		}
+		tm.Sojourn.Add(float64(sojourn))
+	}
+}
+
+// tenantDrop books an RX-ring drop on the request's tenant, under the
+// same measurement window the admission gate's drop counter uses (a
+// drop resolves at its arrival instant).
+//
+//simvet:hotpath
+func (m *metrics) tenantDrop(req workload.Request) {
+	if len(m.perTenant) == 0 || req.Arrival < m.cfg.Warmup {
+		return
+	}
+	m.perTenant[req.Tenant].Dropped++
 }
 
 func (m *metrics) result(system string, rtt sim.Time) *Result {
@@ -334,10 +440,15 @@ func (m *metrics) result(system string, rtt sim.Time) *Result {
 	if offered > 0 {
 		dropRate = float64(dropped) / float64(offered)
 	}
+	for i := range m.perTenant {
+		tm := &m.perTenant[i]
+		tm.Offered = tm.Completed + tm.Dropped
+	}
 	return &Result{
 		System:     system,
 		Config:     m.cfg,
 		PerClass:   m.perClass,
+		PerTenant:  m.perTenant,
 		Completed:  m.done,
 		Throughput: float64(m.done) / window,
 		RTT:        rtt,
@@ -379,6 +490,33 @@ func WithSLOs(m Machine, slos map[string]sim.Time) Machine {
 		return m
 	}
 	return sloMachine{m: m, slos: slos}
+}
+
+// arrivalsMachine stamps an arrival-process spec and tenant table onto
+// every RunConfig, so sweep drivers whose signatures fix the config
+// fields (Sweep, experiments) still explore the non-Poisson axes.
+type arrivalsMachine struct {
+	m        Machine
+	arrivals string
+	tenants  []workload.Tenant
+}
+
+func (a arrivalsMachine) Run(cfg RunConfig) *Result {
+	cfg.Arrivals = a.arrivals
+	cfg.Tenants = a.tenants
+	return a.m.Run(cfg)
+}
+
+func (a arrivalsMachine) Name() string { return a.m.Name() }
+
+// WithArrivals wraps a machine so every Run uses the given arrival
+// process and tenant table (see RunConfig.Arrivals/Tenants). An empty
+// spec and nil tenants return the machine unchanged.
+func WithArrivals(m Machine, arrivals string, tenants []workload.Tenant) Machine {
+	if arrivals == "" && len(tenants) == 0 {
+		return m
+	}
+	return arrivalsMachine{m: m, arrivals: arrivals, tenants: tenants}
 }
 
 // String renders a one-line summary, useful in logs and examples.

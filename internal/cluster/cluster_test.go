@@ -472,35 +472,35 @@ func TestAdmissionBoundsRequestsNotTime(t *testing.T) {
 	// The RX ring holds request descriptors: its bound must apply by
 	// count, independent of any per-request processing cost.
 	a := newAdmission(0, 2, 1)
-	if !a.tryAdmit(0, 0) || !a.tryAdmit(0, 0) {
+	if !a.tryAdmit(0, 0, 0) || !a.tryAdmit(0, 0, 0) {
 		t.Fatal("ring rejected requests below capacity")
 	}
-	if a.tryAdmit(0, 0) {
+	if a.tryAdmit(0, 0, 0) {
 		t.Fatal("ring admitted beyond capacity")
 	}
 	if a.dropped != 1 {
 		t.Fatalf("dropped = %d, want 1", a.dropped)
 	}
-	a.release(0)
-	if !a.tryAdmit(0, 0) {
+	a.release(0, 0)
+	if !a.tryAdmit(0, 0, 0) {
 		t.Fatal("released slot not reusable")
 	}
 
 	// Pre-warmup drops shed load but stay out of the measurement
 	// window, exactly like pre-warmup completions.
 	b := newAdmission(10, 1, 1)
-	b.tryAdmit(0, 5)
-	if b.tryAdmit(0, 5) || b.dropped != 0 {
+	b.tryAdmit(0, 0, 5)
+	if b.tryAdmit(0, 0, 5) || b.dropped != 0 {
 		t.Fatalf("pre-warmup drop counted: dropped = %d", b.dropped)
 	}
-	if b.tryAdmit(0, 20) || b.dropped != 1 {
+	if b.tryAdmit(0, 0, 20) || b.dropped != 1 {
 		t.Fatalf("post-warmup drop not counted: dropped = %d", b.dropped)
 	}
 
 	// limit <= 0 is an unbounded stage: admit everything, track nothing.
 	c := newAdmission(0, 0, 1)
 	for i := 0; i < 100; i++ {
-		if !c.tryAdmit(0, 0) {
+		if !c.tryAdmit(0, 0, 0) {
 			t.Fatal("unbounded gate rejected a request")
 		}
 	}

@@ -96,7 +96,7 @@ func (d *DFCFS) newRun(cfg RunConfig) *dfRun {
 func (d *DFCFS) Run(cfg RunConfig) *Result {
 	r := d.newRun(cfg)
 	// One RX lane per worker: each NIC queue is its own bounded ring.
-	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), d.P.RXQueue, d.P.Workers)
+	r.init(cfg, r, cfg.Stream(rng.New(cfg.Seed)), d.P.RXQueue, d.P.Workers)
 	return r.run(d.Name(), d.P.RTT)
 }
 
@@ -137,7 +137,7 @@ func (r *dfRun) admit(lane int, j *job) {
 		return
 	}
 	wk.busy = true
-	r.adm.release(lane)
+	r.adm.release(lane, j.tenant)
 	r.runJob(lane, j)
 }
 
@@ -153,7 +153,7 @@ func (r *dfRun) runJob(w int, j *job) {
 		r.pool.put(j)
 		wk := &r.workers[w]
 		if next, _, ok := wk.queue.Pop(); ok {
-			r.adm.release(w)
+			r.adm.release(w, next.tenant)
 			r.runJob(w, next)
 			return
 		}

@@ -31,7 +31,9 @@ func newRanker(d pifo.Discipline, cfg RunConfig) ranker {
 
 // sloTargets resolves RunConfig.SLOs into a per-class target slice
 // (key "*" is the wildcard; absent classes get 0 = no target), in
-// workload class order.
+// workload class order. Tenant-scoped keys ("tenant:class") contain a
+// colon and so never collide with class names here; they resolve
+// through sloTenantTargets.
 func sloTargets(cfg RunConfig) []sim.Time {
 	out := make([]sim.Time, 0, len(cfg.Workload.Classes))
 	for _, c := range cfg.Workload.Classes {
@@ -40,6 +42,30 @@ func sloTargets(cfg RunConfig) []sim.Time {
 			target = cfg.SLOs["*"]
 		}
 		out = append(out, target)
+	}
+	return out
+}
+
+// sloTenantTargets resolves RunConfig.SLOs into a tenant×class target
+// table (indexed tenant*nClasses + class). Per cell the most specific
+// key wins: "tenant:class", then "tenant:*", then "class", then "*".
+func sloTenantTargets(cfg RunConfig) []sim.Time {
+	nc := len(cfg.Workload.Classes)
+	out := make([]sim.Time, 0, len(cfg.Tenants)*nc)
+	for _, t := range cfg.Tenants {
+		for _, c := range cfg.Workload.Classes {
+			target := cfg.SLOs[t.Name+":"+c.Name]
+			if target == 0 {
+				target = cfg.SLOs[t.Name+":*"]
+			}
+			if target == 0 {
+				target = cfg.SLOs[c.Name]
+			}
+			if target == 0 {
+				target = cfg.SLOs["*"]
+			}
+			out = append(out, target)
+		}
 	}
 	return out
 }

@@ -50,9 +50,10 @@ type machinePolicy interface {
 	// processing for directpath machines, identity elsewhere.
 	inflate(service sim.Time) sim.Time
 	// admit takes ownership of an admitted job. The job's RX-ring slot
-	// on lane stays occupied until the machine calls adm.release(lane)
-	// — for serial-server stages that is when the stage picks the
-	// request up; unbounded gates may release immediately or never.
+	// on lane stays occupied until the machine calls
+	// adm.release(lane, j.tenant) — for serial-server stages that is
+	// when the stage picks the request up; unbounded gates may release
+	// immediately or never.
 	admit(lane int, j *job)
 }
 
@@ -74,32 +75,39 @@ type arrivalObserver interface {
 	observeDrop(req workload.Request)
 }
 
-// Pump drives one open-loop arrival stream: it pulls requests from a
-// generator and delivers each at its arrival instant, until the first
-// arrival past the horizon. The pump is a chain — each delivery
+// Pump drives one arrival stream: it pulls requests from a composed
+// workload.Stream and delivers each at its arrival instant, until the
+// first arrival past the horizon. The pump is a chain — each delivery
 // schedules the next — with a single staged request and one reused
 // closure, so pumping allocates nothing per arrival (a fresh
 // `func() { deliver(req) }` per request was the pump's one
 // steady-state allocation; see TestArrivalPumpSteadyStateAllocs).
+//
+// Open-loop streams never block; a closed-loop stream can run out of
+// pending arrivals (every user waiting on an in-flight request), in
+// which case the pump idles until Done reports a retirement that
+// unblocked the stream.
 //
 // Every standalone machine run pumps through this type, and so does
 // the rack fleet (internal/rack), whose deliver routes each request to
 // one machine node — the one arrival pump shared by every layer.
 type Pump struct {
 	eng     *sim.Engine
-	gen     *workload.Generator
+	stream  *workload.Stream
 	horizon sim.Time
 	deliver func(workload.Request)
 	// next stages the one in-flight arrival for fn.
 	next workload.Request
 	fn   func()
+	// idle marks a blocked closed-loop stream awaiting feedback.
+	idle bool
 }
 
-// NewPump returns a pump feeding deliver from gen on eng. Requests
+// NewPump returns a pump feeding deliver from stream on eng. Requests
 // stop arriving at the horizon, but events already in the engine (jobs
 // in flight) still drain. Start schedules the first arrival.
-func NewPump(eng *sim.Engine, gen *workload.Generator, horizon sim.Time, deliver func(workload.Request)) *Pump {
-	p := &Pump{eng: eng, gen: gen, horizon: horizon, deliver: deliver}
+func NewPump(eng *sim.Engine, stream *workload.Stream, horizon sim.Time, deliver func(workload.Request)) *Pump {
+	p := &Pump{eng: eng, stream: stream, horizon: horizon, deliver: deliver}
 	p.fn = func() {
 		// Copy the staged request first: chaining the next arrival
 		// overwrites the stage before deliver runs.
@@ -111,17 +119,40 @@ func NewPump(eng *sim.Engine, gen *workload.Generator, horizon sim.Time, deliver
 }
 
 // Start schedules the next arrival (the first, when called from
-// outside the chain). Requests past the horizon end the stream.
+// outside the chain). Requests past the horizon end the stream; a
+// blocked closed-loop stream parks the pump until Done.
 //
 //simvet:hotpath
 func (p *Pump) Start() {
-	req := p.gen.Next()
+	req, ok := p.stream.Next()
+	if !ok {
+		p.idle = true
+		return
+	}
 	if req.Arrival > p.horizon {
 		return
 	}
 	p.next = req
 	p.eng.At(req.Arrival, p.fn)
 }
+
+// Done informs the pump's stream that a request retired (completed or
+// dropped) at instant t — the feedback edge closed-loop arrival
+// processes need. If the stream was blocked and now has an arrival
+// pending, the pump resumes the chain. Open-loop streams make this a
+// single boolean check.
+//
+//simvet:hotpath
+func (p *Pump) Done(t sim.Time) {
+	if p.stream.Done(t) && p.idle {
+		p.idle = false
+		p.Start()
+	}
+}
+
+// ClosedLoop reports whether the pump's stream needs retirement
+// feedback to make progress.
+func (p *Pump) ClosedLoop() bool { return p.stream.ClosedLoop() }
 
 // machineRun is the shared state of one scheduling run. Machine run
 // structs embed it and reach the engine, metrics, admission gate, and
@@ -145,6 +176,11 @@ type machineRun struct {
 	// (Node.OnDrop) — the retirement feed for routers tracking placed
 	// work.
 	onDrop func(workload.Class)
+
+	// feedback marks a closed-loop standalone run: every retirement
+	// (completion via the job pool, drop via inject) is reported to the
+	// pump so blocked users can issue their next request.
+	feedback bool
 
 	// system, workers, and rtt describe the machine for Result
 	// collection; set by init/bind.
@@ -170,13 +206,26 @@ func (k *machineRun) attach(eng *sim.Engine, cfg RunConfig, pol machinePolicy, r
 }
 
 // init assembles the substrate for a standalone run: attach on a fresh
-// engine, plus the machine's own arrival pump. The caller constructs
-// the workload generator itself (and any machine RNG) so the
-// per-machine RNG draw order — which fixes the whole trajectory — is
-// explicit in the machine's code, not hidden in the kernel.
-func (k *machineRun) init(cfg RunConfig, pol machinePolicy, gen *workload.Generator, rxLimit, lanes int) {
+// engine, plus the machine's own arrival pump. The caller materializes
+// the stream itself — via cfg.Stream, handing it the RNG stream of its
+// choice — so the per-machine RNG draw order, which fixes the whole
+// trajectory, is explicit in the machine's code, not hidden in the
+// kernel. For a closed-loop stream, init also wires the retirement
+// feedback: completions report through the job pool's return hook,
+// drops through inject.
+func (k *machineRun) init(cfg RunConfig, pol machinePolicy, stream *workload.Stream, rxLimit, lanes int) {
 	k.attach(sim.New(), cfg, pol, rxLimit, lanes)
-	k.pump = NewPump(k.eng, gen, cfg.Duration, k.inject)
+	k.pump = NewPump(k.eng, stream, cfg.Duration, k.inject)
+	if stream.ClosedLoop() {
+		k.feedback = true
+		prev := k.pool.onPut
+		k.pool.onPut = func(j *job) {
+			if prev != nil {
+				prev(j)
+			}
+			k.pump.Done(k.eng.Now())
+		}
+	}
 }
 
 // bind records the machine identity a node reports through Collect —
@@ -215,19 +264,26 @@ func (k *machineRun) inject(req workload.Request) {
 	// descriptors, not time — so the bound applies even when the stage's
 	// per-request cost is zero. The request occupies its slot until the
 	// machine releases it.
-	if !k.adm.tryAdmit(lane, req.Arrival) {
+	if !k.adm.tryAdmit(lane, req.Tenant, req.Arrival) {
 		if k.arr != nil {
 			k.arr.observeDrop(req)
 		}
 		k.met.emit(req.Arrival, obs.Drop, req.ID, req.Class, k.pol.dropCore(lane))
+		k.met.tenantDrop(req)
 		if k.onDrop != nil {
 			k.onDrop(req.Class)
+		}
+		if k.feedback {
+			// A drop retires the request too: the closed-loop user saw a
+			// rejection and moves on to its think time.
+			k.pump.Done(req.Arrival)
 		}
 		return
 	}
 	j := k.pool.get()
 	j.id = req.ID
 	j.class = req.Class
+	j.tenant = req.Tenant
 	j.arrival = req.Arrival
 	j.base = req.Service
 	j.service = k.pol.inflate(req.Service)

@@ -5,7 +5,6 @@ import (
 	"repro/internal/pifo"
 	"repro/internal/rng"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // Oracle is the UPS-style clairvoyant baseline (registry name
@@ -72,7 +71,7 @@ func (o *Oracle) Run(cfg RunConfig) *Result {
 	r := o.newRun(cfg)
 	// The oracle has no bounded RX stage (limit 0): an optimality
 	// baseline that shed load would bound nothing.
-	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), 0, 1)
+	r.init(cfg, r, cfg.Stream(rng.New(cfg.Seed)), 0, 1)
 	return r.run(o.Name(), 0)
 }
 

@@ -6,7 +6,6 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // ShinjukuParams configures the Shinjuku baseline model: centralized
@@ -179,7 +178,7 @@ func (s *Shinjuku) run(cfg RunConfig) (*Result, *stats.Sample) {
 	// A saturated dispatcher drops packets at the RX ring. The ring
 	// holds incoming requests only — outgoing responses use their own
 	// TX descriptors.
-	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), s.P.RXQueue, 1)
+	r.init(cfg, r, cfg.Stream(rng.New(cfg.Seed)), s.P.RXQueue, 1)
 	res := r.run(s.Name(), s.P.RTT)
 	return res, r.achieved
 }
@@ -197,7 +196,7 @@ func (s *Shinjuku) NewNode(eng *sim.Engine, cfg RunConfig) Node {
 // until the dispatcher's packet-processing op finishes with it.
 func (r *sjRun) admit(lane int, j *job) {
 	r.dispatcherOp(false, r.m.P.NetCost, func() {
-		r.adm.release(lane)
+		r.adm.release(lane, j.tenant)
 		r.enqueue(j)
 	})
 }

@@ -41,7 +41,7 @@ func (s *Sink) Name() string { return "sink" }
 // recorded because the sink does no work.
 func (s *Sink) Run(cfg RunConfig) *Result {
 	r := &sinkRun{s: s}
-	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), 0, 1)
+	r.init(cfg, r, cfg.Stream(rng.New(cfg.Seed)), 0, 1)
 	return r.run(s.Name(), 0)
 }
 
@@ -93,7 +93,7 @@ func MeasureArrivalPump(n int) PumpMeasurement {
 	}
 	s := NewSink()
 	r := &sinkRun{s: s}
-	r.init(cfg, r, workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed)), 0, 1)
+	r.init(cfg, r, cfg.Stream(rng.New(cfg.Seed)), 0, 1)
 
 	warm := n / 4
 	if warm < 1024 {

@@ -201,7 +201,7 @@ func (t *TQ) RunMeasured(cfg RunConfig) (*Result, *stats.Sample) {
 // first, then the workload generator's split — node construction keeps
 // the generator draw (and discards it) so both forms see the same
 // per-seed stream layout.
-func (t *TQ) newRun(cfg RunConfig) (*tqRun, *workload.Generator) {
+func (t *TQ) newRun(cfg RunConfig) (*tqRun, *workload.Stream) {
 	def := pifo.RR
 	if t.P.Policy == PolicyLAS {
 		def = pifo.LAS
@@ -228,7 +228,7 @@ func (t *TQ) newRun(cfg RunConfig) (*tqRun, *workload.Generator) {
 	default:
 		panic("cluster: unknown balancer kind")
 	}
-	gen := workload.NewGenerator(cfg.Workload, cfg.Rate, r.rand.Split())
+	gen := cfg.Stream(r.rand.Split())
 	r.lastRefresh = -t.P.StatsPeriod // force a refresh on first dispatch
 	r.achieved = stats.NewSample(1024)
 	nDisp := t.P.Dispatchers
@@ -318,7 +318,7 @@ func (r *tqRun) admit(d int, j *job) {
 	}
 	r.dispBusyUntil[d] += r.m.P.DispatchCost
 	r.eng.At(r.dispBusyUntil[d], func() {
-		r.adm.release(d)
+		r.adm.release(d, j.tenant)
 		r.dispatch(j)
 	})
 }

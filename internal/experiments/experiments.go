@@ -40,11 +40,22 @@ type Scale struct {
 	// long Full runs are observable.
 	Progress func(cluster.SweepPoint)
 	// SLOs, when non-empty, sets per-class sojourn targets (key "*" is
-	// the wildcard) on every machine the drivers sweep, so each Result
+	// the wildcard; "tenant:class" and "tenant:*" scope a target to one
+	// tenant) on every machine the drivers sweep, so each Result
 	// carries goodput alongside throughput. Empty leaves every figure
 	// byte-identical to an SLO-less run: goodput then just equals
 	// throughput.
 	SLOs map[string]sim.Time
+	// Arrivals, when non-empty, swaps the arrival process under every
+	// figure (a workload.ParseArrivals spec: "poisson",
+	// "mmpp:burst=10,duty=0.1,cycle=1ms", ...). Empty keeps the paper's
+	// Poisson default and every figure byte-identical to the
+	// pre-arrival-axis harness.
+	Arrivals string
+	// Tenants, when non-empty, splits every figure's load across tenant
+	// classes (ratios, optional admission shares) and adds per-tenant
+	// ledgers to each Result.
+	Tenants []workload.Tenant
 }
 
 // opts translates the scale into sweep-runner options.
@@ -60,19 +71,26 @@ func (sc Scale) effectiveWorkers() int {
 	return sc.Workers
 }
 
-// withSLOs applies the scale's SLO targets to every machine the
-// factory builds; a no-op when none are set.
-func (sc Scale) withSLOs(mf cluster.MachineFactory) cluster.MachineFactory {
-	if len(sc.SLOs) == 0 {
-		return mf
+// withOverrides applies the scale's workload-plane overrides — SLO
+// targets, arrival process, tenant split — to every machine the
+// factory builds; a no-op when none are set, so default figures stay
+// byte-identical.
+func (sc Scale) withOverrides(mf cluster.MachineFactory) cluster.MachineFactory {
+	if len(sc.SLOs) > 0 {
+		inner := mf
+		mf = func() cluster.Machine { return cluster.WithSLOs(inner(), sc.SLOs) }
 	}
-	return func() cluster.Machine { return cluster.WithSLOs(mf(), sc.SLOs) }
+	if sc.Arrivals != "" || len(sc.Tenants) > 0 {
+		inner := mf
+		mf = func() cluster.Machine { return cluster.WithArrivals(inner(), sc.Arrivals, sc.Tenants) }
+	}
+	return mf
 }
 
 // sweep runs one load sweep at the scale's parallelism, one fresh
 // machine per point.
 func (sc Scale) sweep(mf cluster.MachineFactory, w *workload.Workload, rates []float64) []*cluster.Result {
-	return cluster.ParallelSweep(sc.withSLOs(mf), w, rates, sc.Duration, sc.Warmup, sc.Seed, sc.opts())
+	return cluster.ParallelSweep(sc.withOverrides(mf), w, rates, sc.Duration, sc.Warmup, sc.Seed, sc.opts())
 }
 
 // maxRateUnder finds the highest rate satisfying ok. With one worker it
@@ -80,7 +98,7 @@ func (sc Scale) sweep(mf cluster.MachineFactory, w *workload.Workload, rates []f
 // points); with more it speculatively runs the whole grid in parallel.
 // Both return the same rate for the same grid and seed.
 func (sc Scale) maxRateUnder(mf cluster.MachineFactory, w *workload.Workload, rates []float64, ok func(*cluster.Result) bool) float64 {
-	mf = sc.withSLOs(mf)
+	mf = sc.withOverrides(mf)
 	if sc.effectiveWorkers() == 1 {
 		return cluster.MaxRateUnder(mf(), w, rates, sc.Duration, sc.Warmup, sc.Seed, ok)
 	}
@@ -205,6 +223,10 @@ type SystemComparison struct {
 	// the blind scheduler matched the oracle; a point is 0 when the
 	// oracle recorded no completions for the class at that rate.
 	OptimalityGap map[string][]stats.Series
+	// PerTenant, when Scale.Tenants splits the load, maps tenant name to
+	// one p99.9-sojourn curve per system, pooled over classes — the
+	// per-tenant view of the same sweeps.
+	PerTenant map[string][]stats.Series
 }
 
 // system is one column of a cross-system comparison: a display label
@@ -310,6 +332,22 @@ func compareMachines(sc Scale, w *workload.Workload, classes []string, slowdown,
 			for i, s := range systems {
 				cmp.OptimalityGap[class] = append(cmp.OptimalityGap[class],
 					gapSeries(s.label, class, results[i], oracle))
+			}
+		}
+	}
+	if len(sc.Tenants) > 0 {
+		cmp.PerTenant = map[string][]stats.Series{}
+		for ti, tn := range sc.Tenants {
+			for i, s := range systems {
+				ser := stats.Series{Label: s.label}
+				for _, r := range results[i] {
+					y := 0.0
+					if ti < len(r.PerTenant) {
+						y = r.PerTenant[ti].Sojourn.P999() / 1e3 // ns → µs
+					}
+					ser.Append(r.Config.Rate, y)
+				}
+				cmp.PerTenant[tn.Name] = append(cmp.PerTenant[tn.Name], ser)
 			}
 		}
 	}

@@ -110,17 +110,13 @@ func (f Fleet) run(cfg cluster.RunConfig, nodeObs func(i int) obs.Recorder) *Fle
 		nodes[i] = entry.NewNode(eng, ncfg)
 	}
 	view := &fleetView{nodes: nodes}
-	if ob, ok := router.(feedbackObserver); ok {
-		for i := range nodes {
-			m := i
-			nodes[m].OnDone(func(c workload.Class, s sim.Time) { ob.done(m, c, s) })
-			nodes[m].OnDrop(func(c workload.Class) { ob.dropped(m, c) })
-		}
-	}
 
+	// One composed stream feeds the whole rack (cfg.Stream is the single
+	// stream constructor everywhere); the router decides where each
+	// request lands.
 	placed := make([]uint64, f.N)
-	gen := workload.NewGenerator(cfg.Workload, cfg.Rate, rng.New(cfg.Seed))
-	pump := cluster.NewPump(eng, gen, cfg.Duration, func(req workload.Request) {
+	stream := cfg.Stream(rng.New(cfg.Seed))
+	pump := cluster.NewPump(eng, stream, cfg.Duration, func(req workload.Request) {
 		m := router.Route(req, view)
 		if m < 0 || m >= len(nodes) {
 			panic(fmt.Sprintf("rack: router %s routed to machine %d of %d", router.Name(), m, len(nodes)))
@@ -128,6 +124,35 @@ func (f Fleet) run(cfg cluster.RunConfig, nodeObs func(i int) obs.Recorder) *Fle
 		placed[m]++
 		nodes[m].Inject(req)
 	})
+
+	// Node retirement hooks serve two consumers: routers that track
+	// placed work, and — for closed-loop arrival processes — the shared
+	// pump, whose users wait for their request to retire anywhere in the
+	// fleet before thinking and issuing again.
+	ob, observing := router.(feedbackObserver)
+	closed := stream.ClosedLoop()
+	if observing || closed {
+		for i := range nodes {
+			m := i
+			nodes[m].OnDone(func(c workload.Class, s sim.Time) {
+				if observing {
+					ob.done(m, c, s)
+				}
+				if closed {
+					pump.Done(eng.Now())
+				}
+			})
+			nodes[m].OnDrop(func(c workload.Class) {
+				if observing {
+					ob.dropped(m, c)
+				}
+				if closed {
+					pump.Done(eng.Now())
+				}
+			})
+		}
+	}
+
 	pump.Start()
 	eng.Run()
 
@@ -197,6 +222,20 @@ func mergeResults(system string, cfg cluster.RunConfig, per []*cluster.Result) *
 		}
 		good += merged.Good
 		out.PerClass = append(out.PerClass, merged)
+	}
+	for ti, t := range cfg.Tenants {
+		merged := cluster.TenantMetrics{Name: t.Name, Sojourn: stats.NewSample(1024)}
+		for _, r := range per {
+			mt := &r.PerTenant[ti]
+			merged.Offered += mt.Offered
+			merged.Completed += mt.Completed
+			merged.Dropped += mt.Dropped
+			merged.Good += mt.Good
+			for _, v := range mt.Sojourn.Values() {
+				merged.Sojourn.Add(v)
+			}
+		}
+		out.PerTenant = append(out.PerTenant, merged)
 	}
 	for _, r := range per {
 		out.Completed += r.Completed

@@ -117,6 +117,18 @@ func (r *Rand) Exp(mean float64) float64 {
 	return -mean * math.Log(u)
 }
 
+// Normal returns a standard normally distributed value (mean 0,
+// variance 1) via the Box-Muller transform. Each call consumes exactly
+// two uniform draws — the sine partner is discarded — so the draw count
+// per sample is fixed, which keeps composed samplers' stream layouts
+// independent of sampling history.
+func (r *Rand) Normal() float64 {
+	// Uniform in (0, 1]: avoids log(0).
+	u1 := 1.0 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
 // Perm fills p with a uniform random permutation of [0, len(p)) using
 // the inside-out Fisher-Yates shuffle.
 func (r *Rand) Perm(p []int) {

@@ -1,0 +1,387 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// This file is the arrival axis of the workload plane: an
+// ArrivalProcess generates the instants at which requests hit the NIC,
+// decoupled from what each request demands (the service axis) and who
+// sent it (the tenant axis). The paper's open-loop Poisson client is
+// one process among several; MMPP bursts, diurnal rate curves, and
+// closed-loop think-time users model the non-stationary traffic
+// production µs-scale services actually see. Processes are data:
+// ParseArrivals resolves a textual spec ("mmpp:burst=10,duty=0.1")
+// exactly as pifo.Parse resolves a queue discipline.
+
+// ArrivalProcess generates successive arrival instants. Implementations
+// draw only from the rng.Rand they are handed (never global state) and
+// allocate nothing per call, so a composed Stream stays deterministic
+// and zero-alloc in steady state.
+type ArrivalProcess interface {
+	// Name renders the process with its parameters, for reports.
+	Name() string
+	// Next returns the instant of the next arrival, drawing from r. The
+	// first call yields the first arrival. ok=false means no arrival is
+	// pending until a request retires (closed-loop); Done unblocks it.
+	// Successive instants are non-decreasing; the Stream enforces strict
+	// monotonicity.
+	Next(r *rng.Rand) (t sim.Time, ok bool)
+	// Done informs the process that a request retired — completed or
+	// dropped — at instant t. Open-loop processes ignore it and return
+	// false; a closed-loop process schedules the issuing user's next
+	// request (think time drawn from r) and reports whether the process
+	// went from blocked to having a pending arrival.
+	Done(t sim.Time, r *rng.Rand) bool
+}
+
+// openLoop supplies the no-feedback Done shared by every open-loop
+// process.
+type openLoop struct{}
+
+func (openLoop) Done(sim.Time, *rng.Rand) bool { return false }
+
+// poisson is the paper's open-loop Poisson client (§5.1): i.i.d.
+// exponential inter-arrival gaps at a fixed mean rate.
+type poisson struct {
+	openLoop
+	meanGapNs float64
+	next      sim.Time
+	started   bool
+}
+
+func (p *poisson) Name() string { return "poisson" }
+
+//simvet:hotpath
+func (p *poisson) Next(r *rng.Rand) (sim.Time, bool) {
+	if !p.started {
+		// The first arrival lands one unclamped gap after time zero —
+		// exactly the historical Generator's construction-time draw.
+		p.started = true
+		p.next = sim.Time(r.Exp(p.meanGapNs) + 0.5)
+		return p.next, true
+	}
+	d := sim.Time(r.Exp(p.meanGapNs) + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	p.next += d
+	return p.next, true
+}
+
+// mmpp is a two-state Markov-modulated Poisson process: a low state and
+// a burst state, each Poisson at its own rate, with exponentially
+// distributed dwell times. Rates are scaled so the long-run mean equals
+// the configured rate: burstiness redistributes load in time, it does
+// not add load — curves against Poisson at the same rate compare like
+// for like.
+type mmpp struct {
+	openLoop
+	gap      [2]float64 // mean inter-arrival gap ns per state (0 = low)
+	dwell    [2]float64 // mean dwell ns per state
+	burst    float64    // rate ratio, for Name
+	duty     float64
+	state    int
+	clock    sim.Time
+	switchAt sim.Time
+	started  bool
+	// occupancy accumulates realized dwell time per state, for the
+	// distribution-fit tests (one add per state switch, not per arrival).
+	lastSwitch sim.Time
+	occupancy  [2]sim.Time
+}
+
+func (m *mmpp) Name() string {
+	return fmt.Sprintf("mmpp(burst=%g,duty=%g)", m.burst, m.duty)
+}
+
+//simvet:hotpath
+func (m *mmpp) Next(r *rng.Rand) (sim.Time, bool) {
+	if !m.started {
+		m.started = true
+		m.switchAt = m.drawDwell(r, 0)
+	}
+	t := m.clock
+	for {
+		gap := sim.Time(r.Exp(m.gap[m.state]) + 0.5)
+		if gap < 1 {
+			gap = 1
+		}
+		if t+gap < m.switchAt {
+			t += gap
+			break
+		}
+		// The candidate crosses the modulation boundary: advance to the
+		// switch and redraw from the new state's rate — exact for
+		// exponential gaps (memorylessness), no thinning needed.
+		t = m.switchAt
+		m.occupancy[m.state] += m.switchAt - m.lastSwitch
+		m.lastSwitch = m.switchAt
+		m.state = 1 - m.state
+		m.switchAt = t + m.drawDwell(r, m.state)
+	}
+	m.clock = t
+	return t, true
+}
+
+func (m *mmpp) drawDwell(r *rng.Rand, state int) sim.Time {
+	d := sim.Time(r.Exp(m.dwell[state]) + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Occupancy returns the realized fraction of modulation time spent in
+// the burst state — compared against the configured duty cycle by the
+// fit tests.
+func (m *mmpp) Occupancy() float64 {
+	total := m.occupancy[0] + m.occupancy[1]
+	if total == 0 {
+		return 0
+	}
+	return float64(m.occupancy[1]) / float64(total)
+}
+
+// diurnal is a sinusoidal rate curve: instantaneous rate
+// rate·(1 + amp·sin(2πt/period)), sampled exactly by thinning against
+// the peak rate. Over whole periods the mean rate equals the configured
+// rate.
+type diurnal struct {
+	openLoop
+	gapPeakNs float64 // mean gap at the peak rate
+	amp       float64
+	periodNs  float64
+	clock     sim.Time
+}
+
+func (d *diurnal) Name() string {
+	return fmt.Sprintf("diurnal(amp=%g,period=%v)", d.amp, sim.Time(d.periodNs))
+}
+
+//simvet:hotpath
+func (d *diurnal) Next(r *rng.Rand) (sim.Time, bool) {
+	t := d.clock
+	for {
+		gap := sim.Time(r.Exp(d.gapPeakNs) + 0.5)
+		if gap < 1 {
+			gap = 1
+		}
+		t += gap
+		// Accept with probability λ(t)/λmax = (1+amp·sin)/(1+amp).
+		frac := (1 + d.amp*math.Sin(2*math.Pi*float64(t)/d.periodNs)) / (1 + d.amp)
+		if r.Float64() < frac {
+			break
+		}
+	}
+	d.clock = t
+	return t, true
+}
+
+// closedLoop models N users with exponential think time: each user
+// issues a request, waits for it to retire (complete or drop), thinks,
+// and issues the next. Offered load is emergent — users/(think+sojourn)
+// — so the configured rate only labels the run. The pending set is a
+// fixed-capacity binary min-heap of next-issue instants; Next pops the
+// earliest, Done pushes the retiring user's next issue.
+type closedLoop struct {
+	thinkNs float64
+	users   int
+	pending []sim.Time // min-heap, preallocated to users
+	started bool
+}
+
+func (c *closedLoop) Name() string {
+	return fmt.Sprintf("closed(users=%d,think=%v)", c.users, sim.Time(c.thinkNs))
+}
+
+//simvet:hotpath
+func (c *closedLoop) Next(r *rng.Rand) (sim.Time, bool) {
+	if !c.started {
+		c.started = true
+		for i := 0; i < c.users; i++ {
+			c.push(c.think(r, 0))
+		}
+	}
+	if len(c.pending) == 0 {
+		return 0, false
+	}
+	return c.pop(), true
+}
+
+// Done implements the feedback half of the loop: the user whose request
+// retired at t thinks and issues again.
+func (c *closedLoop) Done(t sim.Time, r *rng.Rand) bool {
+	if !c.started {
+		// A retirement cannot precede the first issue; tolerate anyway.
+		c.started = true
+	}
+	c.push(c.think(r, t))
+	return len(c.pending) == 1
+}
+
+func (c *closedLoop) think(r *rng.Rand, after sim.Time) sim.Time {
+	d := sim.Time(r.Exp(c.thinkNs) + 0.5)
+	if d < 1 {
+		d = 1
+	}
+	return after + d
+}
+
+// push and pop maintain the min-heap in place; capacity never exceeds
+// users, so neither allocates.
+//
+//simvet:hotpath
+func (c *closedLoop) push(t sim.Time) {
+	n := len(c.pending)
+	if n == cap(c.pending) {
+		panic("workload: closed-loop pending overflow (more retirements than users)")
+	}
+	c.pending = c.pending[:n+1]
+	c.pending[n] = t
+	for n > 0 {
+		parent := (n - 1) / 2
+		if c.pending[parent] <= c.pending[n] {
+			break
+		}
+		c.pending[parent], c.pending[n] = c.pending[n], c.pending[parent]
+		n = parent
+	}
+}
+
+//simvet:hotpath
+func (c *closedLoop) pop() sim.Time {
+	top := c.pending[0]
+	n := len(c.pending) - 1
+	c.pending[0] = c.pending[n]
+	c.pending = c.pending[:n]
+	i := 0
+	for {
+		l, rgt := 2*i+1, 2*i+2
+		least := i
+		if l < n && c.pending[l] < c.pending[least] {
+			least = l
+		}
+		if rgt < n && c.pending[rgt] < c.pending[least] {
+			least = rgt
+		}
+		if least == i {
+			break
+		}
+		c.pending[i], c.pending[least] = c.pending[least], c.pending[i]
+		i = least
+	}
+	return top
+}
+
+// arrivalLaw describes one nameable arrival process for listings.
+type arrivalLaw struct {
+	name    string
+	summary string
+}
+
+var arrivalLaws = []arrivalLaw{
+	{"poisson", "open-loop Poisson at the configured rate (paper §5.1 client; the default)"},
+	{"mmpp", "2-state Markov-modulated Poisson bursts, mean rate preserved (params: burst, duty, cycle)"},
+	{"diurnal", "sinusoidal rate curve around the configured rate (params: amp, period)"},
+	{"closed", "closed-loop users with exponential think time; rate is emergent (params: users, think)"},
+}
+
+// ArrivalNames lists the arrival processes with their parameter
+// summaries, for -arrivals list catalogues.
+func ArrivalNames() []string {
+	out := make([]string, 0, len(arrivalLaws))
+	for _, l := range arrivalLaws {
+		out = append(out, fmt.Sprintf("%-10s %s", l.name, l.summary))
+	}
+	return out
+}
+
+// ParseArrivals resolves a textual arrival-process spec — "process" or
+// "process:key=value,..." — for the given mean rate (requests/second).
+// The empty spec is poisson. Durations accept Go syntax ("1ms");
+// defaults: burst=10, duty=0.1, cycle=1ms; amp=0.8, period=100ms;
+// users=64, think=100us.
+//
+//	poisson
+//	mmpp:burst=10,duty=0.1,cycle=1ms
+//	diurnal:amp=0.8,period=100ms
+//	closed:users=64,think=100us
+func ParseArrivals(spec string, rate float64) (ArrivalProcess, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("workload: rate must be positive, got %g", rate)
+	}
+	if strings.TrimSpace(spec) == "" {
+		spec = "poisson"
+	}
+	name, params, err := parseSpecParams(spec)
+	if err != nil {
+		return nil, err
+	}
+	baseGapNs := float64(sim.Second) / rate
+	switch name {
+	case "poisson":
+		return &poisson{meanGapNs: baseGapNs}, params.done()
+	case "mmpp":
+		burst, err := params.float("burst", 10)
+		if err != nil {
+			return nil, err
+		}
+		duty, err := params.float("duty", 0.1)
+		if err != nil {
+			return nil, err
+		}
+		cycle, err := params.duration("cycle", sim.Time(1_000_000))
+		if err != nil {
+			return nil, err
+		}
+		if burst <= 1 || duty <= 0 || duty >= 1 || cycle < 2 {
+			return nil, fmt.Errorf("workload: mmpp needs burst>1, 0<duty<1, cycle>=2ns, got burst=%g duty=%g cycle=%v", burst, duty, cycle)
+		}
+		// Scale per-state rates so duty·burst·mLow + (1-duty)·mLow = 1.
+		mLow := 1 / (1 - duty + duty*burst)
+		m := &mmpp{burst: burst, duty: duty}
+		m.gap[0] = baseGapNs / mLow
+		m.gap[1] = baseGapNs / (burst * mLow)
+		m.dwell[0] = (1 - duty) * float64(cycle)
+		m.dwell[1] = duty * float64(cycle)
+		return m, params.done()
+	case "diurnal":
+		amp, err := params.float("amp", 0.8)
+		if err != nil {
+			return nil, err
+		}
+		period, err := params.duration("period", 100_000_000)
+		if err != nil {
+			return nil, err
+		}
+		if amp <= 0 || amp >= 1 || period < 2 {
+			return nil, fmt.Errorf("workload: diurnal needs 0<amp<1 and period>=2ns, got amp=%g period=%v", amp, period)
+		}
+		return &diurnal{gapPeakNs: baseGapNs / (1 + amp), amp: amp, periodNs: float64(period)}, params.done()
+	case "closed":
+		users, err := params.int("users", 64)
+		if err != nil {
+			return nil, err
+		}
+		think, err := params.duration("think", 100_000)
+		if err != nil {
+			return nil, err
+		}
+		if users <= 0 || think <= 0 {
+			return nil, fmt.Errorf("workload: closed needs positive users and think, got users=%d think=%v", users, think)
+		}
+		return &closedLoop{thinkNs: float64(think), users: users, pending: make([]sim.Time, 0, users)}, params.done()
+	default:
+		known := make([]string, 0, len(arrivalLaws))
+		for _, l := range arrivalLaws {
+			known = append(known, l.name)
+		}
+		return nil, fmt.Errorf("workload: unknown arrival process %q (known: %s)", name, strings.Join(known, ", "))
+	}
+}

@@ -1,0 +1,433 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// --- service-law fit tests -------------------------------------------------
+
+// Pareto with a comfortable tail index: the sample mean must converge
+// to the analytic mean alpha·xm/(alpha−1).
+func TestParetoMomentsFit(t *testing.T) {
+	s, err := ParseService("pareto:mean=10us,alpha=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	const n = 400000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Sample(r)
+		if v < 1 {
+			t.Fatalf("sample %d below 1ns", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	want := float64(sim.Micros(10))
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("Pareto(α=2.5) sample mean %.0fns, want %.0fns ±5%%", mean, want)
+	}
+	if got := s.Mean(); got != sim.Micros(10) {
+		t.Fatalf("Mean() = %v, want 10µs", got)
+	}
+}
+
+// The tail index must match the configured alpha: the Hill estimator
+// over the top order statistics recovers α within tolerance at a fixed
+// seed, for both a moderate and a heavy tail.
+func TestParetoTailIndexFit(t *testing.T) {
+	for _, alpha := range []float64{1.4, 1.8, 2.5} {
+		s, err := ParseService("pareto:mean=10us,alpha=" + trimFloat(alpha))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(13)
+		const n = 200000
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(s.Sample(r))
+		}
+		sort.Float64s(vals)
+		// Hill estimator over the top k order statistics.
+		const k = 2000
+		xk := vals[n-k-1]
+		var acc float64
+		for _, v := range vals[n-k:] {
+			acc += math.Log(v / xk)
+		}
+		hill := float64(k) / acc
+		if math.Abs(hill-alpha)/alpha > 0.1 {
+			t.Errorf("α=%g: Hill estimate %.3f, want within 10%%", alpha, hill)
+		}
+	}
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Lognormal: the log of the samples must be Normal(mu, sigma), and the
+// sample mean must match the analytic mean exp(mu + sigma²/2).
+func TestLognormalMomentsFit(t *testing.T) {
+	s, err := ParseService("lognormal:mean=10us,sigma=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := s.(lognormalSampler)
+	r := rng.New(17)
+	const n = 300000
+	var sum, logSum, logSq float64
+	for i := 0; i < n; i++ {
+		v := float64(s.Sample(r))
+		sum += v
+		lv := math.Log(v)
+		logSum += lv
+		logSq += lv * lv
+	}
+	mean := sum / n
+	want := float64(sim.Micros(10))
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("lognormal sample mean %.0fns, want %.0fns ±5%%", mean, want)
+	}
+	logMean := logSum / n
+	logSD := math.Sqrt(logSq/n - logMean*logMean)
+	if math.Abs(logMean-ln.mu) > 0.02*math.Abs(ln.mu) {
+		t.Fatalf("log-mean %.4f, want mu %.4f", logMean, ln.mu)
+	}
+	if math.Abs(logSD-ln.sigma) > 0.05*ln.sigma {
+		t.Fatalf("log-sd %.4f, want sigma %.4f", logSD, ln.sigma)
+	}
+}
+
+// MeanService must report the empirical mean for trace-backed
+// workloads. The trace here is drawn from the RocksDB mix, whose
+// long-scan skew would make any non-empirical shortcut obvious.
+func TestMeanServiceEmpiricalForTrace(t *testing.T) {
+	src := RocksDB(0.005)
+	r := rng.New(23)
+	trace := make([]sim.Time, 20000)
+	var sum float64
+	for i := range trace {
+		trace[i] = src.Sample(r).Service
+		sum += float64(trace[i])
+	}
+	w := FromTrace("rocksdb-trace", trace)
+	want := sim.Time(sum/float64(len(trace)) + 0.5)
+	if got := w.MeanService(); got != want {
+		t.Fatalf("MeanService = %v, want empirical mean %v", got, want)
+	}
+	// And MaxLoad must plan against that same empirical mean.
+	if got, want := w.MaxLoad(16), 16/want.Seconds(); math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("MaxLoad = %v, want %v", got, want)
+	}
+}
+
+// The binary-search class pick must agree with the historical linear
+// scan for every draw, including the cum boundaries.
+func TestSampleBinarySearchMatchesLinearScan(t *testing.T) {
+	for _, w := range All() {
+		shadow := rng.New(77)
+		r := rng.New(77)
+		for i := 0; i < 20000; i++ {
+			u := shadow.Float64()
+			cls := 0
+			for cls < len(w.cum)-1 && u >= w.cum[cls] {
+				cls++
+			}
+			req := w.Sample(r)
+			if int(req.Class) != cls {
+				t.Fatalf("%s draw %d (u=%v): binary pick %d, linear pick %d", w.Name, i, u, req.Class, cls)
+			}
+			// Keep the shadow stream aligned through the service draw.
+			if c := w.Classes[cls]; c.Sampler != nil {
+				c.Sampler.Sample(shadow)
+			}
+		}
+	}
+}
+
+// --- arrival-process fit tests ---------------------------------------------
+
+// streamFor builds a stream for arrival-process tests.
+func streamFor(t *testing.T, arrivals string, rate float64) *Stream {
+	t.Helper()
+	return Spec{Workload: Fixed("unit", sim.Micros(1)), Rate: rate, Arrivals: arrivals}.Stream(rng.New(19))
+}
+
+// MMPP must preserve the configured mean rate while spending the duty
+// fraction of time in the burst state.
+func TestMMPPOccupancyAndRateFit(t *testing.T) {
+	const rate = 1e6
+	s := streamFor(t, "mmpp:burst=10,duty=0.2,cycle=1ms", rate)
+	// Burst clustering makes the count variance per cycle large, so the
+	// rate integral needs a few thousand modulation cycles to converge.
+	const n = 2_000_000 // ~2000 cycles at 1 Mrps
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		req, ok := s.Next()
+		if !ok {
+			t.Fatal("open-loop mmpp stream blocked")
+		}
+		if req.Arrival <= last && i > 0 {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+		last = req.Arrival
+	}
+	observed := float64(n) / last.Seconds()
+	if math.Abs(observed-rate)/rate > 0.05 {
+		t.Fatalf("mmpp mean rate %.0f, want %.0f ±5%%", observed, rate)
+	}
+	m := s.proc.(*mmpp)
+	if occ := m.Occupancy(); math.Abs(occ-0.2) > 0.05 {
+		t.Fatalf("burst-state occupancy %.3f, want 0.2 ±0.05", occ)
+	}
+}
+
+// The diurnal curve integrates to the configured mean rate over whole
+// periods, and its within-period rate actually swings: the peak-phase
+// arrival count must exceed the trough-phase count by the amplitude.
+func TestDiurnalRateIntegralFit(t *testing.T) {
+	const rate = 1e6
+	const period = sim.Time(1_000_000) // 1ms
+	s := streamFor(t, "diurnal:amp=0.8,period=1ms", rate)
+	const n = 400000 // ~400 periods
+	peak, trough := 0, 0
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		req, ok := s.Next()
+		if !ok {
+			t.Fatal("open-loop diurnal stream blocked")
+		}
+		last = req.Arrival
+		switch phase := float64(req.Arrival%period) / float64(period); {
+		case phase >= 0.15 && phase < 0.35: // around sin peak at 0.25
+			peak++
+		case phase >= 0.65 && phase < 0.85: // around sin trough at 0.75
+			trough++
+		}
+	}
+	// Completed periods only: the tail fraction biases the integral.
+	periods := float64(last / period)
+	observed := float64(n) / (periods * period.Seconds())
+	if math.Abs(observed-rate)/rate > 0.05 {
+		t.Fatalf("diurnal mean rate %.0f, want %.0f ±5%%", observed, rate)
+	}
+	// Expected ratio: ∫(1+0.8 sin) over the peak window vs the trough
+	// window ≈ (1+0.76)/(1−0.76) ≈ 7.4. Demand at least 4x.
+	if ratio := float64(peak) / float64(trough); ratio < 4 {
+		t.Fatalf("peak/trough arrival ratio %.2f, want > 4 (rate curve too flat)", ratio)
+	}
+}
+
+// Closed-loop semantics: exactly `users` requests issue before the
+// stream blocks; each Done releases exactly one more.
+func TestClosedLoopBlocksAtUsers(t *testing.T) {
+	const users = 8
+	s := streamFor(t, "closed:users=8,think=10us", 1e6)
+	if !s.ClosedLoop() {
+		t.Fatal("closed stream not marked ClosedLoop")
+	}
+	var reqs []Request
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		reqs = append(reqs, req)
+		if len(reqs) > users {
+			t.Fatalf("stream issued %d requests with %d users and no feedback", len(reqs), users)
+		}
+	}
+	if len(reqs) != users {
+		t.Fatalf("stream issued %d requests before blocking, want %d", len(reqs), users)
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival <= reqs[i-1].Arrival {
+			t.Fatal("closed-loop arrivals not strictly increasing")
+		}
+	}
+	// One retirement unblocks exactly one follow-up request.
+	retire := reqs[users-1].Arrival + sim.Micros(5)
+	if !s.Done(retire) {
+		t.Fatal("Done on a blocked stream did not report ready")
+	}
+	req, ok := s.Next()
+	if !ok {
+		t.Fatal("stream still blocked after Done")
+	}
+	if req.Arrival <= retire {
+		t.Fatalf("follow-up at %v, want after retirement %v (think time)", req.Arrival, retire)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("one Done released more than one request")
+	}
+}
+
+// Done on an open-loop stream must be a cheap no-op that never reports
+// ready.
+func TestOpenLoopDoneIsNoop(t *testing.T) {
+	s := streamFor(t, "poisson", 1e6)
+	if s.ClosedLoop() {
+		t.Fatal("poisson marked ClosedLoop")
+	}
+	if s.Done(123) {
+		t.Fatal("open-loop Done reported ready")
+	}
+}
+
+// Every arrival process must be allocation-free in steady state — the
+// property the workload/arrival-stream bench point guards end to end.
+func TestStreamSteadyStateAllocs(t *testing.T) {
+	for _, arrivals := range []string{"poisson", "mmpp", "diurnal"} {
+		s := streamFor(t, arrivals, 1e6)
+		StreamChurn(s, 1000) // warm
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, ok := s.Next(); !ok {
+				t.Fatal("stream blocked")
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: %.1f allocs per Next, want 0", arrivals, allocs)
+		}
+	}
+	// Closed loop with feedback: the Next/Done cycle must also be free.
+	s := streamFor(t, "closed:users=4,think=1us", 1e6)
+	var ts sim.Time
+	for {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		ts = req.Arrival
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		ts += sim.Micros(1)
+		s.Done(ts)
+		if _, ok := s.Next(); !ok {
+			t.Fatal("closed stream blocked after Done")
+		}
+	}); allocs != 0 {
+		t.Errorf("closed: %.1f allocs per Done+Next cycle, want 0", allocs)
+	}
+}
+
+// --- spec / tenants --------------------------------------------------------
+
+func TestTenantSplitRatios(t *testing.T) {
+	tenants, err := ParseTenants("big=0.9@0.5,small=0.1@0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 || tenants[0].Name != "big" || tenants[0].Share != 0.5 ||
+		tenants[1].Ratio != 0.1 || tenants[1].Share != 0.25 {
+		t.Fatalf("parsed %+v", tenants)
+	}
+	s := Spec{
+		Workload: TPCC(), Rate: 1e6, Tenants: tenants,
+	}.Stream(rng.New(29))
+	const n = 200000
+	counts := [2]int{}
+	for i := 0; i < n; i++ {
+		req, _ := s.Next()
+		if req.Tenant < 0 || req.Tenant >= 2 {
+			t.Fatalf("tenant index %d out of range", req.Tenant)
+		}
+		counts[req.Tenant]++
+	}
+	if frac := float64(counts[1]) / n; math.Abs(frac-0.1) > 0.005 {
+		t.Fatalf("small-tenant fraction %.4f, want 0.1 ±0.005", frac)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	base := Spec{Workload: Fixed("unit", sim.Micros(1)), Rate: 1e6}
+	for name, mutate := range map[string]func(*Spec){
+		"nil workload":    func(s *Spec) { s.Workload = nil },
+		"zero rate":       func(s *Spec) { s.Rate = 0 },
+		"negative rate":   func(s *Spec) { s.Rate = -1 },
+		"unknown process": func(s *Spec) { s.Arrivals = "fractal" },
+		"unknown param":   func(s *Spec) { s.Arrivals = "mmpp:bursty=10" },
+		"bad tenants":     func(s *Spec) { s.Tenants = []Tenant{{Name: "a", Ratio: 0.5}} },
+		"dup tenants": func(s *Spec) {
+			s.Tenants = []Tenant{{Name: "a", Ratio: 0.5}, {Name: "a", Ratio: 0.5}}
+		},
+		"over-shared": func(s *Spec) {
+			s.Tenants = []Tenant{{Name: "a", Ratio: 0.5, Share: 0.7}, {Name: "b", Ratio: 0.5, Share: 0.7}}
+		},
+	} {
+		s := base
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid spec", name)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Stream did not panic", name)
+				}
+			}()
+			s.Stream(rng.New(1))
+		}()
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// ParseService and ParseArrivals must reject typoed parameter keys
+// instead of silently using defaults.
+func TestParseRejectsUnknownParams(t *testing.T) {
+	if _, err := ParseService("pareto:mean=10us,aplha=1.4"); err == nil {
+		t.Error("typoed pareto param accepted")
+	}
+	if _, err := ParseArrivals("closed:users=4,thnik=1us", 1e6); err == nil {
+		t.Error("typoed closed param accepted")
+	}
+	if _, err := ParseArrivals("poisson", 0); err == nil {
+		t.Error("ParseArrivals accepted rate 0")
+	}
+	if _, err := ParseService("pareto:alpha=0.9"); err == nil {
+		t.Error("pareto alpha <= 1 accepted (mean diverges)")
+	}
+}
+
+// FromLaw builds a runnable single-class workload for any named law.
+func TestFromLawWorkloads(t *testing.T) {
+	for _, spec := range []string{"det:s=5us", "exp:mean=2us", "pareto:mean=10us,alpha=1.4", "lognormal:mean=10us,sigma=1.5"} {
+		w, err := FromLaw(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if len(w.Classes) != 1 {
+			t.Fatalf("%s: %d classes", spec, len(w.Classes))
+		}
+		if w.MeanService() <= 0 {
+			t.Fatalf("%s: non-positive mean", spec)
+		}
+		r := rng.New(3)
+		for i := 0; i < 100; i++ {
+			if req := w.Sample(r); req.Service <= 0 {
+				t.Fatalf("%s: non-positive service", spec)
+			}
+		}
+	}
+	if _, err := FromLaw("nope"); err == nil {
+		t.Error("unknown law accepted")
+	}
+}
+
+// The listing helpers drive the tqsim `list` subcommands.
+func TestCatalogueListings(t *testing.T) {
+	if got := len(ArrivalNames()); got != 4 {
+		t.Fatalf("ArrivalNames: %d entries, want 4", got)
+	}
+	if got := len(ServiceNames()); got != 4 {
+		t.Fatalf("ServiceNames: %d entries, want 4", got)
+	}
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Spec composes the three workload axes — what requests demand (the
+// Workload's service laws), when they arrive (the ArrivalProcess), and
+// who sends them (Tenants) — into one declarative description. The zero
+// values of the optional axes reproduce the paper's client exactly:
+// empty Arrivals is open-loop Poisson, nil Tenants is a single
+// anonymous tenant. Spec.Stream is the single place in the tree where a
+// request stream is constructed.
+type Spec struct {
+	// Workload supplies the request classes and their service laws.
+	Workload *Workload
+	// Rate is the mean offered load in requests/second. For closed-loop
+	// arrival processes the realized rate is emergent (users and think
+	// time determine it) and Rate only scales capacity planning.
+	Rate float64
+	// Arrivals names the arrival process ("" = "poisson"); see
+	// ParseArrivals for the catalogue and parameter syntax.
+	Arrivals string
+	// Tenants, when non-empty, partitions requests among named tenants
+	// by ratio. Ratios must sum to 1.
+	Tenants []Tenant
+}
+
+// Tenant describes one traffic source sharing the cluster.
+type Tenant struct {
+	// Name labels the tenant in reports and SLO keys.
+	Name string
+	// Ratio is the fraction of all requests this tenant issues.
+	Ratio float64
+	// Share, if positive, reserves that fraction of the admission-queue
+	// limit for this tenant (admission-lane isolation). Tenants with
+	// Share zero compete for the unreserved remainder. Shares must sum
+	// to at most 1.
+	Share float64
+}
+
+// Validate reports whether the spec is well-formed without constructing
+// a stream: positive rate, parseable arrival process, coherent tenant
+// table. Stream panics on exactly the errors Validate returns, so
+// config-level validation paths (cluster.RunConfig.validate) can reject
+// bad specs gracefully while hot paths stay panic-on-bug.
+func (s Spec) Validate() error {
+	if s.Workload == nil {
+		return fmt.Errorf("workload: spec has no workload")
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("workload: rate must be positive, got %g (a non-positive rate means an infinite mean inter-arrival gap)", s.Rate)
+	}
+	if _, err := ParseArrivals(s.Arrivals, s.Rate); err != nil {
+		return err
+	}
+	return ValidateTenants(s.Tenants)
+}
+
+// ValidateTenants checks a tenant table: unique non-empty names,
+// positive ratios summing to 1 (within 1e-9), shares in [0, 1] summing
+// to at most 1. An empty table is valid (single anonymous tenant).
+func ValidateTenants(tenants []Tenant) error {
+	if len(tenants) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(tenants))
+	ratios, shares := 0.0, 0.0
+	for _, t := range tenants {
+		if t.Name == "" {
+			return fmt.Errorf("workload: tenant with empty name")
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("workload: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Ratio <= 0 {
+			return fmt.Errorf("workload: tenant %s has non-positive ratio %g", t.Name, t.Ratio)
+		}
+		if t.Share < 0 || t.Share > 1 {
+			return fmt.Errorf("workload: tenant %s share %g outside [0, 1]", t.Name, t.Share)
+		}
+		ratios += t.Ratio
+		shares += t.Share
+	}
+	if ratios < 1-1e-9 || ratios > 1+1e-9 {
+		return fmt.Errorf("workload: tenant ratios sum to %v, want 1", ratios)
+	}
+	if shares > 1+1e-9 {
+		return fmt.Errorf("workload: tenant shares sum to %v, want at most 1", shares)
+	}
+	return nil
+}
+
+// ParseTenants parses a tenant table spec: comma-separated
+// "name=ratio[@share]" entries, e.g. "big=0.9@0.5,small=0.1@0.25".
+// Ratio is the tenant's fraction of traffic; the optional @share
+// reserves that fraction of the admission queue.
+func ParseTenants(spec string) ([]Tenant, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []Tenant
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" || val == "" {
+			return nil, fmt.Errorf("workload: bad tenant %q (want name=ratio[@share])", part)
+		}
+		t := Tenant{Name: strings.TrimSpace(name)}
+		ratioStr, shareStr, hasShare := strings.Cut(val, "@")
+		r, err := strconv.ParseFloat(strings.TrimSpace(ratioStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad ratio in tenant %q: %v", part, err)
+		}
+		t.Ratio = r
+		if hasShare {
+			s, err := strconv.ParseFloat(strings.TrimSpace(shareStr), 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad share in tenant %q: %v", part, err)
+			}
+			t.Share = s
+		}
+		out = append(out, t)
+	}
+	if err := ValidateTenants(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stream materializes the spec into a request stream drawing from r.
+// It panics on an invalid spec (see Validate); validate at the config
+// layer first for a graceful error. This is the only constructor of
+// request streams in the tree — every machine, the rack fleet, and
+// the benches go through it (mostly via cluster.RunConfig).
+func (s Spec) Stream(r *rng.Rand) *Stream {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	proc, err := ParseArrivals(s.Arrivals, s.Rate)
+	if err != nil {
+		panic(err) // unreachable: Validate parsed the same spec
+	}
+	st := &Stream{w: s.Workload, proc: proc, rand: r}
+	if _, ok := proc.(*closedLoop); ok {
+		st.closed = true
+	}
+	if len(s.Tenants) > 0 {
+		st.tenants = append([]Tenant(nil), s.Tenants...)
+		st.tcum = make([]float64, len(s.Tenants))
+		cum := 0.0
+		for i, t := range s.Tenants {
+			cum += t.Ratio
+			st.tcum[i] = cum
+		}
+		st.tcum[len(st.tcum)-1] = 1 // absorb rounding
+	}
+	return st
+}
+
+// NewGenerator returns the default open-loop Poisson stream over w at
+// rate requests/second — the historical constructor, now a thin alias
+// for Spec{Workload: w, Rate: rate}.Stream(r). It panics if rate is not
+// positive.
+func NewGenerator(w *Workload, rate float64, r *rng.Rand) *Stream {
+	return Spec{Workload: w, Rate: rate}.Stream(r)
+}
+
+// Stream produces requests in arrival order from a composed spec. It is
+// single-goroutine, deterministic in its Rand, and allocation-free in
+// steady state. Arrival times are strictly increasing.
+type Stream struct {
+	w       *Workload
+	proc    ArrivalProcess
+	rand    *rng.Rand
+	tenants []Tenant
+	tcum    []float64
+	nextID  uint64
+	staged  sim.Time // arrival instant of the next request, if primed
+	primed  bool
+	started bool
+	last    sim.Time
+	closed  bool
+}
+
+// Workload returns the spec's workload (for per-class accounting).
+func (s *Stream) Workload() *Workload { return s.w }
+
+// Tenants returns the spec's tenant table (nil for a single anonymous
+// tenant).
+func (s *Stream) Tenants() []Tenant { return s.tenants }
+
+// ClosedLoop reports whether the stream's arrival process needs
+// completion feedback (Done) to make progress.
+func (s *Stream) ClosedLoop() bool { return s.closed }
+
+// Next returns the next request in arrival order. ok=false means the
+// stream is blocked until a request retires (closed-loop processes
+// only); a later Done returning true signals it is ready again.
+//
+//simvet:hotpath
+func (s *Stream) Next() (Request, bool) {
+	if !s.primed {
+		t, ok := s.proc.Next(s.rand)
+		if !ok {
+			return Request{}, false
+		}
+		s.staged = t
+		s.primed = true
+	}
+	req := s.w.Sample(s.rand)
+	if len(s.tcum) > 0 {
+		// Tenant pick mirrors the class pick: one uniform draw, binary
+		// search over the cumulative ratio table.
+		u := s.rand.Float64()
+		lo, hi := 0, len(s.tcum)-1
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if u >= s.tcum[mid] {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		req.Tenant = lo
+	}
+	req.ID = s.nextID
+	s.nextID++
+	t := s.staged
+	if s.started && t <= s.last {
+		// Processes may emit coincident instants (closed-loop heap ties);
+		// the kernel indexes events by strictly increasing arrival time.
+		t = s.last + 1
+	}
+	req.Arrival = t
+	s.last = t
+	s.started = true
+	if nt, ok := s.proc.Next(s.rand); ok {
+		s.staged = nt
+	} else {
+		s.primed = false
+	}
+	return req, true
+}
+
+// Done informs the stream that a request retired (completed or was
+// dropped) at instant t. It returns true when the stream was blocked
+// and now has an arrival pending — the caller should resume pulling.
+func (s *Stream) Done(t sim.Time) bool {
+	return s.proc.Done(t, s.rand) && !s.primed
+}
+
+// StreamChurn pulls n requests from the stream and folds them into a
+// checksum — the measured body of the workload/arrival-stream bench
+// point, and a handy way to exercise a stream in tests.
+//
+//simvet:hotpath
+func StreamChurn(s *Stream, n int) uint64 {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		req, ok := s.Next()
+		if !ok {
+			break
+		}
+		acc += req.ID ^ uint64(req.Arrival) ^ uint64(req.Service)
+	}
+	return acc
+}

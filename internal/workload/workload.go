@@ -1,12 +1,20 @@
 // Package workload defines the µs-scale workloads evaluated in the
-// Tiny Quanta paper (Table 1) and the open-loop Poisson request
-// generator used by all experiments (§5.1).
+// Tiny Quanta paper (Table 1) and the programmable request plane that
+// drives every experiment.
 //
-// A workload is a distribution over request classes; each class has a
-// deterministic service time and a name so experiments can report
-// per-class tail latency (e.g. "Short" vs "Long" in the bimodal plots).
-// The Exp(1) workload instead draws exponentially distributed service
-// times and has a single class.
+// The plane is composed from three independent axes:
+//
+//   - Service: a Workload is a distribution over request classes; each
+//     class carries either a deterministic service time or a
+//     ServiceSampler (exp, trace, pareto, lognormal — see service.go).
+//   - Arrivals: an ArrivalProcess decides when requests land — the
+//     paper's open-loop Poisson client (§5.1) by default, or MMPP
+//     bursts, diurnal curves, closed-loop users (see arrival.go).
+//   - Tenants: an optional tenant table splits traffic among named
+//     sources with per-tenant admission shares (see spec.go).
+//
+// A Spec names one point in that space and Spec.Stream materializes it
+// into the deterministic request stream the kernel pumps.
 package workload
 
 import (
@@ -26,6 +34,9 @@ type Request struct {
 	ID uint64
 	// Class indexes the workload's class table.
 	Class Class
+	// Tenant indexes the spec's tenant table (0 when the spec has no
+	// tenants — a single anonymous tenant).
+	Tenant int
 	// Service is the job's total CPU demand. Blind schedulers must not
 	// read this field to make decisions; it is consumed only by the
 	// simulated execution of the job and by slowdown accounting.
@@ -37,8 +48,11 @@ type Request struct {
 // ClassInfo describes one request class.
 type ClassInfo struct {
 	Name    string
-	Service sim.Time // 0 for stochastic classes (Exp)
+	Service sim.Time // deterministic demand; display mean when Sampler is set
 	Ratio   float64  // fraction of requests in this class
+	// Sampler, if non-nil, draws this class's service times from a
+	// distribution instead of the deterministic Service value.
+	Sampler ServiceSampler
 }
 
 // Workload is a named distribution over request classes.
@@ -47,22 +61,20 @@ type Workload struct {
 	Classes []ClassInfo
 	// cumulative selection thresholds, parallel to Classes.
 	cum []float64
-	// expMean, if nonzero, makes every class's service time
-	// exponentially distributed with this mean (used by Exp(1)).
-	expMean sim.Time
-	// trace, if non-empty, makes Sample draw service times uniformly
-	// from it (empirical distribution).
-	trace []sim.Time
 }
 
 // New builds a workload from class definitions. Ratios must be positive
-// and sum to 1 (within 1e-9).
+// and sum to 1 (within 1e-9). A class with a Sampler and zero Service
+// gets its display Service filled in from the sampler's mean.
 func New(name string, classes []ClassInfo) *Workload {
 	w := &Workload{Name: name, Classes: classes}
 	total := 0.0
-	for _, c := range classes {
+	for i, c := range classes {
 		if c.Ratio <= 0 {
 			panic(fmt.Sprintf("workload %s: class %s has non-positive ratio", name, c.Name))
+		}
+		if c.Sampler != nil && c.Service == 0 {
+			w.Classes[i].Service = c.Sampler.Mean()
 		}
 		total += c.Ratio
 		w.cum = append(w.cum, total)
@@ -74,14 +86,19 @@ func New(name string, classes []ClassInfo) *Workload {
 	return w
 }
 
-// MeanService returns the expected service time of one request.
+// MeanService returns the expected service time of one request. For
+// sampler-backed classes (exponential, trace, heavy-tail laws) it uses
+// the sampler's true mean — for traces, the empirical mean — so
+// capacity planning (MaxLoad, SpeculativeMaxRateUnder, sweep knees) is
+// exact for every law.
 func (w *Workload) MeanService() sim.Time {
-	if w.expMean != 0 {
-		return w.expMean
-	}
 	mean := 0.0
 	for _, c := range w.Classes {
-		mean += c.Ratio * float64(c.Service)
+		if c.Sampler != nil {
+			mean += c.Ratio * float64(c.Sampler.Mean())
+		} else {
+			mean += c.Ratio * float64(c.Service)
+		}
 	}
 	return sim.Time(mean + 0.5)
 }
@@ -93,31 +110,48 @@ func (w *Workload) MaxLoad(cores int) float64 {
 }
 
 // Sample draws one request (without ID or arrival time) from the
-// workload using r.
+// workload using r. The class pick is a binary search over the
+// cumulative ratio table — this sits on the arrival hot path, and the
+// TPC-C mix has five classes.
+//
+//simvet:hotpath
 func (w *Workload) Sample(r *rng.Rand) Request {
 	u := r.Float64()
-	cls := 0
-	for cls < len(w.cum)-1 && u >= w.cum[cls] {
-		cls++
+	// First index with u < cum[i], capped at the last class — the exact
+	// semantics of the historical linear scan, so class picks (and the
+	// golden fixtures) are bit-identical.
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if u >= w.cum[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	svc := w.Classes[cls].Service
-	switch {
-	case len(w.trace) > 0:
-		svc = w.trace[r.Intn(len(w.trace))]
-	case w.expMean != 0:
-		svc = sim.Time(r.Exp(float64(w.expMean)) + 0.5)
+	c := &w.Classes[lo]
+	svc := c.Service
+	if c.Sampler != nil {
+		svc = c.Sampler.Sample(r)
 		if svc < 1 {
 			svc = 1 // a job needs at least 1ns of work
 		}
 	}
-	return Request{Class: Class(cls), Service: svc}
+	return Request{Class: Class(lo), Service: svc}
 }
 
 // DispersionRatio returns the ratio between the longest and shortest
-// class service times (the paper quotes 1000 for Extreme Bimodal).
+// class service times (the paper quotes 1000 for Extreme Bimodal). It
+// is 1 for single-class and sampler-backed workloads, whose dispersion
+// is a property of the law, not the class table.
 func (w *Workload) DispersionRatio() float64 {
-	if len(w.Classes) < 2 || w.expMean != 0 {
+	if len(w.Classes) < 2 {
 		return 1
+	}
+	for _, c := range w.Classes {
+		if c.Sampler != nil {
+			return 1
+		}
 	}
 	min, max := w.Classes[0].Service, w.Classes[0].Service
 	for _, c := range w.Classes[1:] {
@@ -175,9 +209,12 @@ func TPCC() *Workload {
 
 // Exp1 is Table 1's exponential workload with a 1µs mean.
 func Exp1() *Workload {
-	w := New("Exp1", []ClassInfo{{Name: "Exp", Service: sim.Micros(1), Ratio: 1}})
-	w.expMean = sim.Micros(1)
-	return w
+	return New("Exp1", []ClassInfo{{
+		Name:    "Exp",
+		Service: sim.Micros(1),
+		Ratio:   1,
+		Sampler: expSampler{sim.Micros(1)},
+	}})
 }
 
 // RocksDB returns Table 1's RocksDB workload with the given SCAN
@@ -215,25 +252,14 @@ func Bimodal(name string, short, long sim.Time, shortRatio float64) *Workload {
 // FromTrace builds an empirical single-class workload that samples
 // service times uniformly from the given trace of observed durations —
 // for replaying measured service-time distributions through the
-// simulators. The trace must be non-empty with positive durations.
+// simulators. The trace must be non-empty with positive durations; the
+// class's display Service (and MeanService) is the empirical mean.
 func FromTrace(name string, trace []sim.Time) *Workload {
-	if len(trace) == 0 {
-		panic("workload: empty trace")
-	}
-	var sum float64
-	for _, s := range trace {
-		if s <= 0 {
-			panic("workload: non-positive service time in trace")
-		}
-		sum += float64(s)
-	}
-	w := New(name, []ClassInfo{{
+	return New(name, []ClassInfo{{
 		Name:    name,
-		Service: sim.Time(sum/float64(len(trace)) + 0.5),
 		Ratio:   1,
+		Sampler: newTraceSampler(trace),
 	}})
-	w.trace = append([]sim.Time(nil), trace...)
-	return w
 }
 
 // All returns the Table 1 workloads in presentation order.
@@ -242,45 +268,4 @@ func All() []*Workload {
 		ExtremeBimodal(), HighBimodal(), TPCC(), Exp1(),
 		RocksDB(0.005), RocksDB(0.5),
 	}
-}
-
-// Generator produces an open-loop Poisson arrival stream of requests
-// drawn from a workload, mirroring the paper's client (§5.1): requests
-// arrive under a Poisson process regardless of completions.
-type Generator struct {
-	W    *Workload
-	rand *rng.Rand
-	// meanGapNs is the mean inter-arrival gap for the target rate.
-	meanGapNs float64
-	nextID    uint64
-	next      sim.Time
-}
-
-// NewGenerator returns a generator for rate requests/second.
-func NewGenerator(w *Workload, rate float64, r *rng.Rand) *Generator {
-	if rate <= 0 {
-		panic("workload: rate must be positive")
-	}
-	g := &Generator{W: w, rand: r, meanGapNs: float64(sim.Second) / rate}
-	g.next = g.gap()
-	return g
-}
-
-func (g *Generator) gap() sim.Time {
-	return sim.Time(g.rand.Exp(g.meanGapNs) + 0.5)
-}
-
-// Next returns the next request in arrival order. Arrival times are
-// strictly increasing.
-func (g *Generator) Next() Request {
-	req := g.W.Sample(g.rand)
-	req.ID = g.nextID
-	g.nextID++
-	req.Arrival = g.next
-	d := g.gap()
-	if d < 1 {
-		d = 1
-	}
-	g.next += d
-	return req
 }

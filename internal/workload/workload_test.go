@@ -116,7 +116,10 @@ func TestGeneratorRate(t *testing.T) {
 	const n = 200000
 	var last sim.Time
 	for i := 0; i < n; i++ {
-		req := g.Next()
+		req, ok := g.Next()
+		if !ok {
+			t.Fatalf("open-loop stream blocked at request %d", i)
+		}
 		if req.Arrival <= last {
 			t.Fatalf("arrivals not strictly increasing at request %d", i)
 		}
@@ -139,7 +142,7 @@ func TestGeneratorPoissonCV(t *testing.T) {
 	gaps := make([]float64, n)
 	prev := sim.Time(0)
 	for i := 0; i < n; i++ {
-		req := g.Next()
+		req, _ := g.Next()
 		gaps[i] = float64(req.Arrival - prev)
 		prev = req.Arrival
 	}
@@ -275,6 +278,6 @@ func TestFromTraceIsolatedFromCaller(t *testing.T) {
 func BenchmarkGeneratorNext(b *testing.B) {
 	g := NewGenerator(ExtremeBimodal(), 4e6, rng.New(1))
 	for i := 0; i < b.N; i++ {
-		_ = g.Next()
+		_, _ = g.Next()
 	}
 }
